@@ -1,0 +1,81 @@
+"""Shared helpers for the per-figure benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scaled-down default size (see DESIGN.md's scale-down policy) and
+prints the same rows/series the paper reports.  Raw outputs are also
+saved under ``results/``.  Scale knobs: REPRO_INSTRUCTIONS,
+REPRO_MIXES_PER_CLASS, REPRO_CLASS_STRIDE, REPRO_EPOCH_CYCLES.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables
+inline.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import class_stride, epoch_cycles, instructions_per_app, mixes_per_class
+from repro.sim import large_system, small_system
+from repro.workloads import make_mix, make_mixes
+
+#: Hand-picked classes spanning the category space; used when the
+#: REPRO_* env knobs do not request the full stride-sampled suite.
+REPRESENTATIVE_CLASSES = ("sftn", "ssft", "fftn", "ttnn", "sfff", "ffnn", "sstt")
+
+
+def scaled_small_system():
+    return small_system(epoch_cycles=epoch_cycles(250_000))
+
+
+def scaled_large_system():
+    return large_system(epoch_cycles=epoch_cycles(250_000))
+
+
+def scaled_instructions(default=600_000):
+    return instructions_per_app(default)
+
+
+def _env_suite_requested() -> bool:
+    return "REPRO_MIXES_PER_CLASS" in os.environ or "REPRO_CLASS_STRIDE" in os.environ
+
+
+def four_core_mixes(default_count=7):
+    """Mix subset for 4-core figures (paper: 350 mixes).
+
+    Defaults to one mix from each representative class; set
+    REPRO_MIXES_PER_CLASS / REPRO_CLASS_STRIDE to sweep the real
+    35-class suite instead.
+    """
+    if _env_suite_requested():
+        return make_mixes(
+            mixes_per_class=mixes_per_class(1),
+            apps_per_slot=1,
+            class_stride=class_stride(1),
+        )
+    return [make_mix(cls, 1) for cls in REPRESENTATIVE_CLASSES[:default_count]]
+
+
+def thirty_two_core_mixes(default_count=1):
+    """Mix subset for 32-core figures (paper: 350 mixes)."""
+    if _env_suite_requested():
+        return make_mixes(
+            mixes_per_class=mixes_per_class(1),
+            apps_per_slot=8,
+            class_stride=class_stride(1),
+        )
+    return [
+        make_mix(cls, 1, apps_per_slot=8)
+        for cls in REPRESENTATIVE_CLASSES[:default_count]
+    ]
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

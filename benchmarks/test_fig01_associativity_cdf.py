@@ -1,0 +1,79 @@
+"""Figure 1: associativity CDFs under the uniformity assumption.
+
+Regenerates F_A(x) = x^R for R in {4, 8, 16, 64} (both panels of the
+figure are the same curves at linear/log scale) and validates the
+analytical curves against Monte-Carlo eviction priorities measured on
+the idealised random-candidates cache.
+"""
+
+import random
+
+from repro.analysis import associativity_cdf, empirical_cdf
+from repro.arrays import RandomCandidatesArray
+from repro.harness import format_curve_table, save_results
+from repro.partitioning import BaselineCache
+from repro.replacement import PerfectLRUPolicy
+
+R_VALUES = (4, 8, 16, 64)
+XS = [i / 20 for i in range(21)]
+
+
+def empirical_eviction_cdf(r, num_lines=512, misses=4000, seed=0):
+    array = RandomCandidatesArray(num_lines, candidates_per_miss=r, seed=seed)
+    policy = PerfectLRUPolicy(num_lines)
+    cache = BaselineCache(array, policy)
+    samples = []
+
+    def hook(slot, part):
+        victim_age = policy.age_key(slot)
+        ages = sorted(policy.age_key(s) for s, _ in array.contents())
+        younger = sum(1 for a in ages if a <= victim_age)
+        samples.append(younger / len(ages))
+
+    cache.eviction_hook = hook
+    rng = random.Random(seed + 1)
+    count = 0
+    while count < misses + num_lines:
+        cache.access(rng.randrange(1 << 40))
+        count += 1
+    return empirical_cdf(samples, XS)
+
+
+def test_fig1_associativity_cdfs(run_once):
+    def experiment():
+        analytic = {f"R={r}": [associativity_cdf(x, r) for x in XS] for r in R_VALUES}
+        empirical = {f"R={r} (MC)": empirical_eviction_cdf(r) for r in (8, 16)}
+        return analytic, empirical
+
+    analytic, empirical = run_once(experiment)
+
+    print()
+    print(
+        format_curve_table(
+            "Figure 1: associativity CDF F_A(x) = x^R (analytical)",
+            XS,
+            analytic,
+            x_label="evict prio",
+        )
+    )
+    print(
+        format_curve_table(
+            "Figure 1 (validation): Monte-Carlo eviction priorities on the "
+            "random-candidates cache",
+            XS,
+            empirical,
+            x_label="evict prio",
+        )
+    )
+    save_results("fig01", {"xs": XS, "analytic": analytic, "empirical": empirical})
+
+    # Shape checks: the curves are CDFs and skew right with R.
+    for r in R_VALUES:
+        curve = analytic[f"R={r}"]
+        assert curve[0] == 0.0 and curve[-1] == 1.0
+        assert curve == sorted(curve)
+    assert analytic["R=64"][18] < analytic["R=4"][18]
+    # Monte Carlo matches the model.
+    for r in (8, 16):
+        for x, got in zip(XS, empirical[f"R={r} (MC)"]):
+            assert abs(got - associativity_cdf(x, r)) < 0.06

@@ -1,0 +1,65 @@
+"""Figure 5: unmanaged-region sizing (Section 4.3).
+
+Left panel: u as a function of A_max at P_ev = 1e-2.
+Right panel: u as a function of P_ev at A_max = 0.4.
+Both for R = 16 and R = 52 candidates, slack = 0.1.
+"""
+
+from repro.analysis import required_unmanaged_fraction
+from repro.harness import format_curve_table, save_results
+
+SLACK = 0.1
+AMAX_SWEEP = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+PEV_SWEEP = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0]
+
+
+def test_fig5_unmanaged_region_sizing(run_once):
+    def experiment():
+        left = {
+            f"R={r}": [
+                required_unmanaged_fraction(r, a_max=a, slack=SLACK, pev=1e-2)
+                for a in AMAX_SWEEP
+            ]
+            for r in (16, 52)
+        }
+        right = {
+            f"R={r}": [
+                required_unmanaged_fraction(r, a_max=0.4, slack=SLACK, pev=p)
+                for p in PEV_SWEEP
+            ]
+            for r in (16, 52)
+        }
+        return left, right
+
+    left, right = run_once(experiment)
+
+    print()
+    print(
+        format_curve_table(
+            "Figure 5a: unmanaged fraction u vs A_max (Pev = 1e-2, slack = 0.1)",
+            AMAX_SWEEP,
+            left,
+            x_label="A_max",
+        )
+    )
+    print(
+        format_curve_table(
+            "Figure 5b: unmanaged fraction u vs Pev (A_max = 0.4, slack = 0.1)",
+            PEV_SWEEP,
+            right,
+            x_label="Pev",
+        )
+    )
+    save_results(
+        "fig05",
+        {"amax_sweep": AMAX_SWEEP, "pev_sweep": PEV_SWEEP, "left": left, "right": right},
+    )
+
+    # Paper's quoted points: R=52, A_max=0.4 -> 13% (Pev=1e-2), 21% (1e-4).
+    assert abs(right["R=52"][PEV_SWEEP.index(1e-2)] - 0.13) < 0.01
+    assert abs(right["R=52"][PEV_SWEEP.index(1e-4)] - 0.21) < 0.01
+    # Shape: u shrinks with A_max and with R, grows as Pev tightens.
+    for r in (16, 52):
+        assert left[f"R={r}"] == sorted(left[f"R={r}"], reverse=True)
+        assert right[f"R={r}"] == sorted(right[f"R={r}"], reverse=True)
+    assert all(u52 < u16 for u16, u52 in zip(left["R=16"], left["R=52"]))

@@ -1,0 +1,96 @@
+"""Figure 6: 4-core throughput under UCP, normalised to LRU-SA16.
+
+Panel (a): distribution of relative throughput over the mix suite for
+Vantage-Z4/52, WayPart-SA16 and PIPP-SA16 (paper: 350 mixes; default
+here: one mix from every 5th class -- scale with REPRO_MIXES_PER_CLASS
+/ REPRO_CLASS_STRIDE / REPRO_INSTRUCTIONS).
+
+Panel (b): per-mix bars for a few named mixes, including the
+unpartitioned Z4/52 zcache that separates "zcache effect" from
+"partitioning effect".
+"""
+
+from conftest import four_core_mixes, scaled_instructions, scaled_small_system
+
+from repro.harness import (
+    distribution_row,
+    format_distribution_table,
+    relative_throughputs,
+    run_mix,
+    save_results,
+)
+
+SCHEMES = ["vantage-z4/52", "waypart-sa16", "pipp-sa16"]
+BASELINE = "lru-sa16"
+FIG6B_EXTRA = "lru-z4/52"  # unpartitioned zcache reference
+
+
+def test_fig6a_throughput_distribution(run_once):
+    config = scaled_small_system()
+    instructions = scaled_instructions()
+    mixes = four_core_mixes()
+
+    def experiment():
+        return relative_throughputs(mixes, SCHEMES, BASELINE, config, instructions)
+
+    results = run_once(experiment)
+
+    rows = [distribution_row(s, results[s]) for s in SCHEMES]
+    print()
+    print(
+        format_distribution_table(
+            rows,
+            f"Figure 6a: 4-core throughput vs {BASELINE} "
+            f"({len(mixes)} mixes, {instructions} instrs/app)",
+        )
+    )
+    per_mix = {s: dict(zip([m.name for m in mixes], results[s])) for s in SCHEMES}
+    save_results("fig06a", {"rows": rows, "per_mix": per_mix})
+
+    vantage = next(r for r in rows if r["scheme"] == "vantage-z4/52")
+    # Paper shape: Vantage improves the clear majority of mixes and
+    # never degrades badly, while the rivals degrade many mixes.  (On
+    # a handful of mixes PIPP can out-improve Vantage -- the paper's
+    # own Fig 6b shows such cases -- so the robust claim is about the
+    # degradation side of the distribution, not a strict geomean win.)
+    assert vantage["geomean"] > 0.99
+    assert vantage["worst"] > 0.9
+    for rival in ("waypart-sa16", "pipp-sa16"):
+        row = next(r for r in rows if r["scheme"] == rival)
+        assert vantage["geomean"] >= row["geomean"] - 0.025
+        assert vantage["worst"] >= row["worst"] - 0.01
+        assert vantage["degraded_frac"] <= row["degraded_frac"] + 0.01
+
+
+def test_fig6b_selected_mixes(run_once):
+    config = scaled_small_system()
+    instructions = scaled_instructions()
+    # One mix per headline class from the paper's Fig 6b.
+    from repro.workloads import make_mix
+
+    selected = [make_mix(cls, 1) for cls in ("sftn", "ttnn", "sssf")]
+
+    def experiment():
+        table = {}
+        for mix in selected:
+            base = run_mix(mix, BASELINE, config, instructions).result.throughput
+            row = {}
+            for scheme in [FIG6B_EXTRA] + SCHEMES:
+                thr = run_mix(mix, scheme, config, instructions).result.throughput
+                row[scheme] = thr / base
+            table[mix.name] = row
+        return table
+
+    table = run_once(experiment)
+
+    print()
+    print("Figure 6b: per-mix throughput vs lru-sa16")
+    header = f"{'mix':8s} " + " ".join(f"{s:>16s}" for s in [FIG6B_EXTRA] + SCHEMES)
+    print(header)
+    for mix_name, row in table.items():
+        cells = " ".join(f"{row[s]:>16.3f}" for s in [FIG6B_EXTRA] + SCHEMES)
+        print(f"{mix_name:8s} {cells}")
+    save_results("fig06b", table)
+
+    for row in table.values():
+        assert all(v > 0 for v in row.values())

@@ -1,0 +1,52 @@
+"""Figure 7: 32-core throughput, normalised to LRU-SA64.
+
+The paper's headline scalability result: with 32 partitions,
+way-partitioning and PIPP degrade most workloads even on a 64-way
+cache, while Vantage keeps delivering its 4-core-level gains from a
+4-way zcache (16x fewer ways).
+
+Default scale: two 32-core mixes (REPRO_CLASS_STRIDE picks classes);
+the paper runs 350.
+"""
+
+from conftest import scaled_instructions, scaled_large_system, thirty_two_core_mixes
+
+from repro.harness import (
+    distribution_row,
+    format_distribution_table,
+    relative_throughputs,
+    save_results,
+)
+
+SCHEMES = ["vantage-z4/52", "waypart-sa64", "pipp-sa64"]
+BASELINE = "lru-sa64"
+
+
+def test_fig7_32core_throughput(run_once):
+    config = scaled_large_system()
+    instructions = scaled_instructions(150_000)
+    mixes = thirty_two_core_mixes()
+
+    def experiment():
+        return relative_throughputs(mixes, SCHEMES, BASELINE, config, instructions)
+
+    results = run_once(experiment)
+
+    rows = [distribution_row(s, results[s]) for s in SCHEMES]
+    print()
+    print(
+        format_distribution_table(
+            rows,
+            f"Figure 7: 32-core throughput vs {BASELINE} "
+            f"({len(mixes)} mixes, {instructions} instrs/app)",
+        )
+    )
+    per_mix = {s: dict(zip([m.name for m in mixes], results[s])) for s in SCHEMES}
+    save_results("fig07", {"rows": rows, "per_mix": per_mix})
+
+    vantage = next(r for r in rows if r["scheme"] == "vantage-z4/52")
+    waypart = next(r for r in rows if r["scheme"] == "waypart-sa64")
+    # Scalability shape: Vantage with a 4-way zcache at least matches
+    # the 64-way rivals at 32 partitions, without bad degradations.
+    assert vantage["geomean"] >= waypart["geomean"] - 0.02
+    assert vantage["worst"] > 0.8

@@ -1,0 +1,83 @@
+"""Figure 9: sensitivity to the unmanaged region size (u = 5..30%).
+
+Panel (a): throughput vs LRU for each u.
+Panel (b): fraction of evictions forced from the managed region, with
+the analytical worst-case marker (Section 4.3) for each u.
+"""
+
+from conftest import four_core_mixes, scaled_instructions, scaled_small_system
+
+from repro.analysis import geo_mean, worst_case_pev
+from repro.core import VantageConfig
+from repro.harness import build_policy, save_results
+from repro.harness.schemes import build_array
+from repro.core import VantageCache
+from repro.harness import run_mix
+from repro.sim import CMPSystem
+
+U_SWEEP = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
+R = 52
+
+
+def test_fig9_unmanaged_region_sweep(run_once):
+    config = scaled_small_system()
+    instructions = scaled_instructions(600_000)
+    mixes = four_core_mixes(default_count=2)
+
+    def experiment():
+        baselines = {}
+        for mix in mixes:
+            baselines[mix.name] = run_mix(
+                mix, "lru-sa16", config, instructions
+            ).result.throughput
+        sweep = {}
+        for u in U_SWEEP:
+            rel, managed_fracs = [], []
+            for mix in mixes:
+                array = build_array("z4/52", config.l2_lines, seed=0)
+                cache = VantageCache(
+                    array,
+                    config.num_cores,
+                    VantageConfig(unmanaged_fraction=u, a_max=0.5, slack=0.1),
+                )
+                policy = build_policy(cache, config)
+                system = CMPSystem(cache, mix.trace_factories(0), config, policy=policy)
+                result = system.run(instructions)
+                rel.append(result.throughput / baselines[mix.name])
+                managed_fracs.append(cache.managed_eviction_fraction())
+            sweep[u] = {
+                "geomean": geo_mean(rel),
+                "managed_eviction_fracs": managed_fracs,
+                "worst_case_model": worst_case_pev(u, R, a_max=0.5, slack=0.1),
+            }
+        return sweep
+
+    sweep = run_once(experiment)
+
+    print()
+    print(f"Figure 9: unmanaged-region sweep ({len(mixes)} mixes)")
+    print(
+        f"{'u':>6s} {'geomean thr':>12s} {'max managed-ev frac':>20s} "
+        f"{'model worst case':>18s}"
+    )
+    for u, row in sweep.items():
+        print(
+            f"{u:>6.2f} {row['geomean']:>12.3f} "
+            f"{max(row['managed_eviction_fracs']):>20.4f} "
+            f"{row['worst_case_model']:>18.4f}"
+        )
+    save_results("fig09", {str(u): row for u, row in sweep.items()})
+
+    # Shape: bigger u -> fewer forced evictions from the managed region.
+    fracs = [max(sweep[u]["managed_eviction_fracs"]) for u in U_SWEEP]
+    assert fracs[-1] <= fracs[0] + 0.005
+    # Workloads respect the analytical worst case (with transient slack,
+    # as in the paper's Fig 9b discussion).
+    for u in U_SWEEP[2:]:
+        row = sweep[u]
+        assert max(row["managed_eviction_fracs"]) <= max(
+            row["worst_case_model"] * 2.0, 0.02
+        )
+    # Throughput is only mildly sensitive to u (paper: 5% works best).
+    geos = [sweep[u]["geomean"] for u in U_SWEEP]
+    assert max(geos) - min(geos) < 0.12

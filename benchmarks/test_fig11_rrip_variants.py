@@ -1,0 +1,48 @@
+"""Figure 11: RRIP replacement variants vs Vantage.
+
+SRRIP / DRRIP / TA-DRRIP (unpartitioned, on the Z4/52 zcache) against
+Vantage-LRU and Vantage-DRRIP, all normalised to LRU-SA16.  The
+paper's ordering: Vantage-DRRIP >= Vantage-LRU > TA-DRRIP > DRRIP.
+"""
+
+from conftest import four_core_mixes, scaled_instructions, scaled_small_system
+
+from repro.analysis import geo_mean
+from repro.harness import relative_throughputs, save_results
+
+SCHEMES = [
+    "srrip-z4/52",
+    "drrip-z4/52",
+    "ta-drrip-z4/52",
+    "vantage-z4/52",
+    "vantage-drrip-z4/52",
+]
+BASELINE = "lru-sa16"
+
+
+def test_fig11_rrip_variants(run_once):
+    config = scaled_small_system()
+    instructions = scaled_instructions(600_000)
+    mixes = four_core_mixes(default_count=2)
+
+    def experiment():
+        return relative_throughputs(mixes, SCHEMES, BASELINE, config, instructions)
+
+    results = run_once(experiment)
+
+    print()
+    print(f"Figure 11: replacement policies and Vantage ({len(mixes)} mixes)")
+    geos = {}
+    print(f"{'scheme':>22s}{'geomean':>10s} {'worst':>8s} {'best':>8s}")
+    for scheme in SCHEMES:
+        rel = results[scheme]
+        geos[scheme] = geo_mean(rel)
+        print(f"{scheme:>22s}{geos[scheme]:>10.3f} {min(rel):>8.3f} {max(rel):>8.3f}")
+    save_results(
+        "fig11", {s: {"per_mix": results[s], "geomean": geos[s]} for s in SCHEMES}
+    )
+
+    # Paper shape: partitioning beats pure replacement-policy fixes.
+    best_rrip = max(geos["srrip-z4/52"], geos["drrip-z4/52"], geos["ta-drrip-z4/52"])
+    assert geos["vantage-z4/52"] >= best_rrip - 0.02
+    assert geos["vantage-drrip-z4/52"] >= geos["vantage-z4/52"] - 0.05

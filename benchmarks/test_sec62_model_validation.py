@@ -1,0 +1,57 @@
+"""Section 6.2 model validation: the practical controller matches the
+"unrealistic" configurations.
+
+1. Feedback + setpoint demotions vs perfect-aperture control
+   (AnalyticalVantageCache).
+2. The zcache's near-uniform candidates vs truly uniform candidates
+   (RandomCandidatesArray).
+
+The paper reports both idealisations "perform exactly as the practical
+implementation"; we check throughput and partition-size agreement on a
+4-core UCP mix.
+"""
+
+from conftest import scaled_instructions, scaled_small_system
+
+from repro.harness import run_mix, save_results
+from repro.workloads import make_mix
+
+VARIANTS = ["vantage-z4/52", "vantage-analytical-z4/52", "vantage-rc52"]
+
+
+def test_sec62_unrealistic_configurations(run_once):
+    config = scaled_small_system()
+    instructions = scaled_instructions(600_000)
+    mixes = [make_mix("sftn", 1), make_mix("ttff", 1)]
+
+    def experiment():
+        out = {}
+        for mix in mixes:
+            row = {}
+            for scheme in VARIANTS:
+                run = run_mix(mix, scheme, config, instructions, seed=1)
+                row[scheme] = {
+                    "throughput": run.result.throughput,
+                    "sizes": run.cache.partition_sizes(),
+                    "managed_ev_frac": run.cache.managed_eviction_fraction(),
+                }
+            out[mix.name] = row
+        return out
+
+    out = run_once(experiment)
+
+    print()
+    print("Section 6.2: practical vs idealised Vantage configurations")
+    for mix_name, row in out.items():
+        print(f"  mix {mix_name}:")
+        for scheme, data in row.items():
+            print(
+                f"    {scheme:26s} thr={data['throughput']:.3f} "
+                f"sizes={data['sizes']} mgd-ev={data['managed_ev_frac']:.4f}"
+            )
+    save_results("sec62", out)
+
+    for mix_name, row in out.items():
+        practical = row["vantage-z4/52"]["throughput"]
+        for ideal in ("vantage-analytical-z4/52", "vantage-rc52"):
+            assert abs(row[ideal]["throughput"] - practical) / practical < 0.08

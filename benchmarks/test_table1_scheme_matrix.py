@@ -1,0 +1,21 @@
+"""Table 1: qualitative comparison of partitioning schemes.
+
+The matrix is generated from the capability metadata attached to the
+scheme implementations, so the printed table stays tied to the code.
+"""
+
+from repro.harness import save_results
+from repro.partitioning import TABLE1_ROWS, format_table1
+
+
+def test_table1_scheme_matrix(run_once):
+    text = run_once(format_table1)
+    print()
+    print("Table 1: classification of partitioning schemes")
+    print(text)
+    save_results(
+        "table1",
+        {row.name: vars(row) for row in TABLE1_ROWS},
+    )
+    assert "Vantage" in text
+    assert len(TABLE1_ROWS) == 5

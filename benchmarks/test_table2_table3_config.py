@@ -1,0 +1,70 @@
+"""Tables 2 and 3: methodology tables, regenerated from code.
+
+Table 2 prints the simulated CMP configurations; Table 3 re-runs the
+paper's classification procedure (single-app MPKI sweep, 64 KB-8 MB)
+over all 29 synthetic applications and checks each lands in its
+declared category.  This is also the state-overhead checkpoint for
+Section 4.3's hardware-cost claims.
+"""
+
+from repro.analysis import vantage_overheads
+from repro.harness import mpki_curve, classify_curve, save_results
+from repro.harness.classify import SWEEP_LINES
+from repro.sim import large_system, small_system
+from repro.workloads import APPS, CATEGORY_NAMES
+
+
+def test_table2_system_configurations(run_once):
+    def experiment():
+        return small_system(), large_system(), vantage_overheads(num_partitions=32)
+
+    small, large, overheads = run_once(experiment)
+    print()
+    print("Table 2: simulated CMP configurations")
+    for name, cfg in (("4-core", small), ("32-core", large)):
+        print(
+            f"  {name}: {cfg.num_cores} cores, L1 {cfg.l1_bytes // 1024} KB "
+            f"{cfg.l1_ways}-way, L2 {cfg.l2_bytes // (1024 * 1024)} MB x "
+            f"{cfg.l2_banks} banks ({cfg.l2_hit_latency}-cycle hit), "
+            f"mem {cfg.mem_latency} cycles, {cfg.mem_bandwidth_gbs} GB/s, "
+            f"{cfg.freq_ghz} GHz"
+        )
+    print(
+        f"  Vantage state overhead (8 MB, 32 partitions): "
+        f"{overheads.overhead_fraction:.2%} "
+        f"({overheads.partition_id_bits} tag bits, "
+        f"{overheads.register_bits_per_partition} register bits/partition)"
+    )
+    assert large.num_cores == 32
+    assert overheads.overhead_fraction < 0.016
+
+
+def test_table3_workload_classification(run_once):
+    def experiment():
+        rows = {}
+        for name, app in sorted(APPS.items()):
+            curve = mpki_curve(app, accesses=40_000)
+            rows[name] = {
+                "category": app.category,
+                "classified": classify_curve(curve),
+                "curve": [round(v, 2) for v in curve],
+            }
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print("Table 3: workload classification (MPKI sweep 64 KB - 8 MB)")
+    sizes = "  ".join(f"{n * 64 // 1024:>6d}K" for n in SWEEP_LINES)
+    print(f"  {'app':12s} {'cat':>4s} {'got':>4s}  {sizes}")
+    mismatches = []
+    for name, row in rows.items():
+        curve = "  ".join(f"{v:>7.1f}" for v in row["curve"])
+        print(f"  {name:12s} {row['category']:>4s} {row['classified']:>4s}  {curve}")
+        if row["classified"] != row["category"]:
+            mismatches.append(name)
+    save_results("table3", rows)
+    print(f"  categories: {CATEGORY_NAMES}")
+    if mismatches:
+        print(f"  MISMATCHES: {mismatches}")
+    # Every app must land in its Table 3 category.
+    assert not mismatches

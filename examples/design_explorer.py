@@ -1,0 +1,62 @@
+"""Design-space explorer: size the unmanaged region from the models.
+
+Vantage's analytical models (Section 4.3) let a cache architect pick
+the unmanaged-region size *before* running any simulation: choose the
+array (R candidates), a maximum aperture, and an isolation target
+(worst-case probability of a forced eviction from the managed
+region), and the closed form gives u.  This script sweeps the space
+and then verifies one design point empirically.
+
+Run:  python examples/design_explorer.py
+"""
+
+import random
+
+from repro import VantageCache, VantageConfig, ZCacheArray
+from repro.analysis import (
+    required_unmanaged_fraction,
+    slack_outgrowth,
+    worst_case_borrowed,
+)
+
+SLACK = 0.1
+
+
+def sweep():
+    print("unmanaged-region fraction u(R, A_max, Pev), slack = 0.1")
+    print(f"{'array':>8s} {'R':>4s} {'A_max':>6s} "
+          + "".join(f"{p:>12g}" for p in (1e-1, 1e-2, 1e-3, 1e-4)))
+    for label, r in (("Z4/16", 16), ("Z4/52", 52), ("SA64", 64)):
+        for a_max in (0.3, 0.5):
+            cells = "".join(
+                f"{required_unmanaged_fraction(r, a_max, SLACK, pev):>12.3f}"
+                for pev in (1e-1, 1e-2, 1e-3, 1e-4)
+            )
+            print(f"{label:>8s} {r:>4d} {a_max:>6.1f} {cells}")
+    print(f"\nbudget breakdown for Z4/52, A_max=0.5: "
+          f"MSS borrowing {worst_case_borrowed(0.5, 52):.3f}, "
+          f"feedback slack {slack_outgrowth(SLACK, 0.5, 52):.4f}")
+
+
+def verify(r=52, pev=1e-2, a_max=0.5, num_lines=16_384):
+    u = required_unmanaged_fraction(r, a_max, SLACK, pev)
+    print(f"\nempirical check: R={r}, A_max={a_max}, target Pev={pev:g} "
+          f"-> u={u:.3f}")
+    array = ZCacheArray(num_lines, 4, candidates_per_miss=r, seed=3)
+    cache = VantageCache(
+        array, 4, VantageConfig(unmanaged_fraction=u, a_max=a_max, slack=SLACK)
+    )
+    rng = random.Random(0)
+    working_sets = [2_000, 5_000, 9_000, 100_000]
+    for _ in range(400_000):
+        p = rng.randrange(4)
+        cache.access((p << 40) | rng.randrange(working_sets[p]), p)
+    print(f"measured managed-eviction fraction: "
+          f"{cache.managed_eviction_fraction():.2e} (target {pev:g})")
+    print(f"partition sizes: {cache.partition_sizes()} "
+          f"(targets {cache.target})")
+
+
+if __name__ == "__main__":
+    sweep()
+    verify()

@@ -1,0 +1,69 @@
+"""QoS isolation: protect a latency-critical working set from a
+streaming co-runner.
+
+Section 1 motivates partitioning with QoS and security isolation: a
+cache-timing side channel or a noisy neighbour both rely on being able
+to evict another thread's lines.  This example pins a victim's working
+set with a static Vantage allocation and shows that a streaming
+aggressor cannot displace it, while under shared LRU the same
+aggressor wipes the victim out.
+
+Run:  python examples/qos_isolation.py
+"""
+
+import random
+
+from repro import BaselineCache, VantageCache, VantageConfig, ZCacheArray
+from repro.replacement import CoarseLRUPolicy
+
+CACHE_LINES = 16_384  # 1 MB
+VICTIM, AGGRESSOR = 0, 1
+VICTIM_WS = 6_000
+
+
+def run_scenario(partitioned: bool) -> tuple[float, int]:
+    """Returns (victim hit rate under attack, resident victim lines)."""
+    array = ZCacheArray(CACHE_LINES, num_ways=4, candidates_per_miss=52, seed=7)
+    if partitioned:
+        cache = VantageCache(array, 2, VantageConfig(unmanaged_fraction=0.1))
+        # QoS contract: the victim owns 7000 lines, no matter what.
+        cache.set_allocations([7_000, 7_745])
+    else:
+        cache = BaselineCache(array, CoarseLRUPolicy(CACHE_LINES), num_partitions=2)
+
+    rng = random.Random(1)
+    victim_lines = [(VICTIM << 40) | n for n in range(VICTIM_WS)]
+
+    # Victim warms its working set.
+    for addr in victim_lines * 2:
+        cache.access(addr, VICTIM)
+
+    # Attack phase: the aggressor streams 10x the cache size while the
+    # victim touches its set only occasionally (1 in 50 accesses).
+    hits = lookups = 0
+    for n in range(200_000):
+        cache.access((AGGRESSOR << 40) | n, AGGRESSOR)
+        if n % 50 == 0:
+            addr = rng.choice(victim_lines)
+            lookups += 1
+            if cache.access(addr, VICTIM):
+                hits += 1
+
+    resident = sum(1 for a in victim_lines if array.lookup(a) is not None)
+    return hits / lookups, resident
+
+
+def main():
+    print(f"victim working set: {VICTIM_WS} lines; aggressor: streaming "
+          f"200k distinct lines through a {CACHE_LINES}-line cache\n")
+    for label, partitioned in (("shared LRU", False), ("Vantage QoS", True)):
+        hit_rate, resident = run_scenario(partitioned)
+        print(f"{label:12s} victim hit rate under attack: {hit_rate:6.1%}   "
+              f"resident working set: {resident}/{VICTIM_WS}")
+    print("\nVantage keeps the victim's lines pinned: the aggressor's "
+          "insertions are matched by demotions of its own lines, so the "
+          "victim's partition is never the interference sink.")
+
+
+if __name__ == "__main__":
+    main()

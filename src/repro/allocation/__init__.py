@@ -1,0 +1,16 @@
+"""Allocation policies: decide partition sizes (schemes enforce them)."""
+
+from repro.allocation.static import EqualSharePolicy, StaticPolicy
+from repro.allocation.ucp import UCPPolicy, lookahead_allocate
+from repro.allocation.umon import UMonitor, interpolate_curve
+from repro.allocation.umon_rrip import RRIPMonitor
+
+__all__ = [
+    "EqualSharePolicy",
+    "RRIPMonitor",
+    "StaticPolicy",
+    "UCPPolicy",
+    "UMonitor",
+    "interpolate_curve",
+    "lookahead_allocate",
+]

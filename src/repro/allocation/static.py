@@ -1,0 +1,42 @@
+"""Static allocation policies.
+
+Not every use of partitioning is utility-driven: QoS contracts, local
+stores and security isolation (Section 1) pin capacities explicitly.
+These policies provide that, behind the same ``allocate()`` interface
+as :class:`~repro.allocation.ucp.UCPPolicy` so the simulation harness
+can drive any of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+class StaticPolicy:
+    """Returns a fixed allocation vector every epoch."""
+
+    def __init__(self, units: Sequence[int]):
+        self.units = list(units)
+
+    def observe(self, part: int, addr: int) -> None:
+        pass
+
+    def allocate(self) -> list[int]:
+        return list(self.units)
+
+
+class EqualSharePolicy:
+    """Splits ``total_units`` evenly among ``num_partitions``."""
+
+    def __init__(self, num_partitions: int, total_units: int):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+        self.total_units = total_units
+
+    def observe(self, part: int, addr: int) -> None:
+        pass
+
+    def allocate(self) -> list[int]:
+        base, extra = divmod(self.total_units, self.num_partitions)
+        return [base + (1 if p < extra else 0) for p in range(self.num_partitions)]

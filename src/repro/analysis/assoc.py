@@ -1,0 +1,88 @@
+"""Associativity distributions: Equations 1-3 (Figures 1 and 2).
+
+The analytical framework (from the zcache paper [21]) gives every line
+a uniformly distributed eviction priority in [0, 1]; a cache that
+examines R independent uniform candidates per replacement evicts the
+maximum of R uniforms, whose CDF is x^R.  Vantage's managed-region
+variants follow from conditioning on how many of the R candidates land
+in the managed region.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+def associativity_cdf(x: float, r: int) -> float:
+    """F_A(x) = x^R (Equation 1): probability that an eviction removes
+    a line of eviction priority <= x, with R uniform candidates."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1], got {x}")
+    return x**r
+
+
+def associativity_cdf_curve(xs: Iterable[float], r: int) -> list[float]:
+    return [associativity_cdf(x, r) for x in xs]
+
+
+def binomial_in_managed(i: int, r: int, u: float) -> float:
+    """B(i, R): probability that exactly ``i`` of R candidates fall in
+    the managed region when a fraction ``u`` of lines is unmanaged."""
+    return math.comb(r, i) * (1.0 - u) ** i * u ** (r - i)
+
+
+def forced_demotion_cdf(x: float, r: int, u: float) -> float:
+    """Demotion-priority CDF with exactly one demotion per eviction
+    (Equation 2, Figure 2b).
+
+    Demoting always the single worst managed candidate makes the
+    demotion distribution a mixture of max-of-i-uniforms weighted by
+    the binomial split of candidates between regions.  The i = 0 and
+    i = R corner cases are negligible and ignored, as in the paper;
+    the mixture is renormalised over 1 <= i <= R-1.
+    """
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1], got {x}")
+    total = 0.0
+    weight = 0.0
+    for i in range(1, r):
+        b = binomial_in_managed(i, r, u)
+        weight += b
+        total += b * x**i
+    return total / weight if weight else 0.0
+
+
+def aperture_demotion_cdf(x: float, a: float) -> float:
+    """Demotion-priority CDF when demoting one per eviction *on
+    average* with aperture ``a`` (Equation 3, Figure 2c): uniform on
+    [1 - A, 1]."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError(f"x must be in [0, 1], got {x}")
+    if a <= 0.0:
+        return 0.0 if x < 1.0 else 1.0
+    if x < 1.0 - a:
+        return 0.0
+    return (x - (1.0 - a)) / a
+
+
+def equilibrium_aperture(r: int, m: float) -> float:
+    """Aperture that balances one demotion per eviction on average
+    when all partitions behave alike: ``A = 1 / (R * m)``."""
+    if r <= 0 or m <= 0:
+        raise ValueError("r and m must be positive")
+    return min(1.0, 1.0 / (r * m))
+
+
+def empirical_cdf(samples: Sequence[float], xs: Sequence[float]) -> list[float]:
+    """Evaluate the empirical CDF of ``samples`` at each point of ``xs``."""
+    if not samples:
+        return [0.0] * len(xs)
+    ordered = sorted(samples)
+    n = len(ordered)
+    out = []
+    import bisect
+
+    for x in xs:
+        out.append(bisect.bisect_right(ordered, x) / n)
+    return out

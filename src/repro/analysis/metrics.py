@@ -1,0 +1,48 @@
+"""Multiprogrammed performance metrics.
+
+The paper reports aggregate throughput (sum of IPCs) and notes that
+weighted speedup and the harmonic mean of weighted speedups "do not
+offer additional insights" for UCP-driven runs.  All three are
+provided so users can check that for themselves: throughput favours
+high-IPC threads, weighted speedup normalises each thread by its
+alone-run IPC, and the harmonic mean penalises unfairness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def throughput(ipcs: Sequence[float]) -> float:
+    """Aggregate throughput: sum of per-thread IPCs."""
+    return sum(ipcs)
+
+
+def weighted_speedup(ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Sum of per-thread speedups relative to running alone
+    (Snavely & Tullsen)."""
+    _check(ipcs, alone_ipcs)
+    return sum(ipc / alone for ipc, alone in zip(ipcs, alone_ipcs))
+
+def harmonic_mean_speedup(ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Harmonic mean of weighted speedups (Luo et al.): rewards both
+    performance and fairness."""
+    _check(ipcs, alone_ipcs)
+    denominator = sum(alone / ipc for ipc, alone in zip(ipcs, alone_ipcs))
+    return len(ipcs) / denominator
+
+
+def fairness(ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> float:
+    """Min/max ratio of per-thread slowdowns: 1.0 is perfectly fair."""
+    _check(ipcs, alone_ipcs)
+    slowdowns = [alone / ipc for ipc, alone in zip(ipcs, alone_ipcs)]
+    return min(slowdowns) / max(slowdowns)
+
+
+def _check(ipcs: Sequence[float], alone_ipcs: Sequence[float]) -> None:
+    if len(ipcs) != len(alone_ipcs):
+        raise ValueError("ipcs and alone_ipcs must have the same length")
+    if not ipcs:
+        raise ValueError("metrics need at least one thread")
+    if any(v <= 0 for v in ipcs) or any(v <= 0 for v in alone_ipcs):
+        raise ValueError("IPCs must be positive")

@@ -1,0 +1,141 @@
+"""Sizing and stability models: Equations 4-9 and Section 4.3.
+
+These closed forms are what makes Vantage "derived from analytical
+models": they bound how much space partitions can borrow from the
+unmanaged region and therefore how large that region must be --
+independently of the number of partitions or their behaviour.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def aperture(size: float, target: float, a_max: float, slack: float) -> float:
+    """Feedback aperture transfer function (Equation 7, Fig 3a).
+
+    Maps a partition's current ``size`` to the fraction of its
+    replacement candidates that should be demoted: 0 at or below the
+    ``target``, ramping linearly to ``a_max`` at ``(1 + slack) *
+    target``, and saturating beyond.
+    """
+    if target <= 0:
+        # A deleted partition (target 0) drains at full aperture.
+        return a_max if size > 0 else 0.0
+    if size <= target:
+        return 0.0
+    if size > (1.0 + slack) * target:
+        return a_max
+    return (a_max / slack) * (size - target) / target
+
+
+def equilibrium_apertures(
+    churns: Sequence[float],
+    sizes: Sequence[float],
+    r: int,
+    m: float,
+) -> list[float]:
+    """Steady-state apertures for given churns and sizes (Equation 4).
+
+    ``A_i = (C_i / sum C) * (sum S / S_i) * 1 / (R * m)``; sizes are
+    fractions of total cache capacity, churns in any common rate unit.
+    Partitions with zero size get an aperture of 1.0 (every candidate
+    demoted) as the limiting behaviour.
+    """
+    if len(churns) != len(sizes):
+        raise ValueError("churns and sizes must have the same length")
+    total_churn = sum(churns)
+    total_size = sum(sizes)
+    if total_churn <= 0 or total_size <= 0:
+        return [0.0] * len(churns)
+    out = []
+    for churn, size in zip(churns, sizes):
+        if size <= 0:
+            out.append(1.0 if churn > 0 else 0.0)
+            continue
+        out.append((churn / total_churn) * (total_size / size) / (r * m))
+    return out
+
+
+def minimum_stable_size(
+    churn_fraction: float,
+    total_size: float,
+    a_max: float,
+    r: int,
+    m: float,
+) -> float:
+    """Minimum stable size of a high-churn partition (Equation 5).
+
+    A partition whose target is too small for its churn grows until
+    its aperture falls to ``a_max``; this is the size it settles at.
+    ``churn_fraction`` is ``C_j / sum C`` and ``total_size`` is
+    ``sum S`` as a fraction of the cache.
+    """
+    return churn_fraction * total_size / (a_max * r * m)
+
+
+def worst_case_borrowed(a_max: float, r: int, m: float | None = None) -> float:
+    """Total space borrowed by minimum-stable-size partitions (Eq 6).
+
+    With ``m`` given, returns the exact ``1 / (a_max * R - 1/m)``;
+    without it, the paper's approximation ``1 / (a_max * R)``.
+    Independent of the number of partitions -- the scalability
+    guarantee.
+    """
+    if m is None:
+        return 1.0 / (a_max * r)
+    denom = a_max * r - 1.0 / m
+    if denom <= 0:
+        raise ValueError("a_max * R must exceed 1/m for stability")
+    return 1.0 / denom
+
+
+def slack_outgrowth(slack: float, a_max: float, r: int) -> float:
+    """Aggregate steady-state overshoot of all partitions (Equation 9).
+
+    Feedback-based aperture control lets partitions sit slightly above
+    their targets; summed over all partitions this is
+    ``slack / (a_max * R)`` of the cache, again independent of the
+    partition count.
+    """
+    return slack / (a_max * r)
+
+
+def required_unmanaged_fraction(
+    r: int,
+    a_max: float = 0.5,
+    slack: float = 0.1,
+    pev: float = 1e-2,
+) -> float:
+    """Unmanaged-region size for a target managed-eviction probability.
+
+    Section 4.3: ``u = 1 - Pev^(1/R) + (1 + slack) / (a_max * R)``.
+    The first term makes a forced eviction from the managed region at
+    most ``pev`` likely per replacement; the second reserves room for
+    minimum-stable-size growth (Eq 6) plus feedback slack (Eq 9).
+    This is the function behind both panels of Figure 5.
+    """
+    if not 0.0 < pev <= 1.0:
+        raise ValueError(f"pev must be in (0, 1], got {pev}")
+    if r <= 0:
+        raise ValueError(f"r must be positive, got {r}")
+    return (1.0 - pev ** (1.0 / r)) + (1.0 + slack) / (a_max * r)
+
+
+def worst_case_pev(
+    u: float,
+    r: int,
+    a_max: float = 0.5,
+    slack: float = 0.1,
+) -> float:
+    """Inverse of :func:`required_unmanaged_fraction`.
+
+    Given a total unmanaged fraction ``u``, subtracts the borrowing
+    reserve and returns the worst-case probability that a replacement
+    finds no unmanaged candidate, ``(1 - u_eff)^R``.  Returns 1.0 when
+    the reserve alone exceeds ``u`` (no eviction buffer at all).
+    """
+    u_eff = u - (1.0 + slack) / (a_max * r)
+    if u_eff <= 0.0:
+        return 1.0
+    return (1.0 - u_eff) ** r

@@ -1,0 +1,170 @@
+"""Measurement helpers: priority quantiles, CDFs, summary metrics.
+
+The paper's empirical associativity plots (Fig 2 validation, Fig 8
+heat maps) need, for every eviction or demotion, the victim's
+*eviction-priority quantile*: the fraction of lines in scope (the
+whole cache, or the victim's partition) that the replacement policy
+ranks no closer to eviction than the victim.  Computing that exactly
+is O(cache size) per event, so :class:`PriorityMonitor` estimates it
+by sampling a fixed number of resident lines per event -- unbiased and
+plenty accurate for CDF plots.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+
+def geo_mean(values: Sequence[float]) -> float:
+    """Geometric mean; values must be positive."""
+    if not values:
+        raise ValueError("geo_mean of empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v > threshold) / len(values)
+
+
+class PriorityMonitor:
+    """Collects eviction/demotion priority quantiles by sampling.
+
+    Attach with :func:`attach_eviction_monitor` or
+    :func:`attach_demotion_monitor`; afterwards :attr:`quantiles`
+    holds one entry in [0, 1] per observed event (optionally tagged
+    with the event's partition and a user-supplied clock).
+    """
+
+    def __init__(self, sample_size: int = 96, seed: int = 0):
+        self.sample_size = sample_size
+        self.rng = random.Random(seed)
+        self.quantiles: list[float] = []
+        self.parts: list[int] = []
+        self.times: list[int] = []
+        self.clock = 0
+
+    def observe(self, quantile: float, part: int) -> None:
+        self.quantiles.append(quantile)
+        self.parts.append(part)
+        self.times.append(self.clock)
+
+    def quantiles_for(self, part: int) -> list[float]:
+        return [q for q, p in zip(self.quantiles, self.parts) if p == part]
+
+    def cdf(self, xs: Sequence[float], part: int | None = None) -> list[float]:
+        from repro.analysis.assoc import empirical_cdf
+
+        samples = self.quantiles if part is None else self.quantiles_for(part)
+        return empirical_cdf(samples, xs)
+
+
+def _sampled_quantile(
+    cache,
+    victim_slot: int,
+    scope_part: int | None,
+    monitor: PriorityMonitor,
+) -> float | None:
+    """Estimate the victim's staleness quantile within its scope.
+
+    Samples random slots; counts how many in-scope resident lines are
+    *no staler* than the victim.  Returns ``None`` when too few
+    in-scope lines were sampled to say anything.
+    """
+    victim_age = cache.staleness(victim_slot)
+    part_of = cache.part_of
+    num_lines = cache.num_lines
+    rng = monitor.rng
+    in_scope = 0
+    younger_or_equal = 0
+    attempts = monitor.sample_size * 4
+    for _ in range(attempts):
+        slot = rng.randrange(num_lines)
+        if cache.array.addr_at(slot) is None:
+            continue
+        if scope_part is not None and part_of[slot] != scope_part:
+            continue
+        in_scope += 1
+        if cache.staleness(slot) <= victim_age:
+            younger_or_equal += 1
+        if in_scope >= monitor.sample_size:
+            break
+    if in_scope < 8:
+        return None
+    return younger_or_equal / in_scope
+
+
+def attach_eviction_monitor(
+    cache, monitor: PriorityMonitor, per_partition: bool = True, stride: int = 1
+):
+    """Record an eviction-priority quantile for evictions.
+
+    ``per_partition`` ranks the victim against its own partition's
+    lines (the Fig 8 heat-map semantics); otherwise against the whole
+    cache.  ``stride`` subsamples events (observe every N-th): each
+    observation costs up to ``4 * sample_size`` probes, so long runs
+    should not pay it per eviction.  Returns the installed hook.
+    """
+    state = {"count": 0}
+
+    def hook(victim_slot: int, victim_part: int) -> None:
+        state["count"] += 1
+        if state["count"] % stride:
+            return
+        scope = victim_part if per_partition else None
+        q = _sampled_quantile(cache, victim_slot, scope, monitor)
+        if q is not None:
+            monitor.observe(q, victim_part)
+
+    cache.eviction_hook = hook
+    return hook
+
+
+def attach_demotion_monitor(cache, monitor: PriorityMonitor, stride: int = 1):
+    """Record a demotion-priority quantile for Vantage demotions.
+
+    ``cache`` must expose ``demotion_hook`` (VantageCache does);
+    ``stride`` subsamples events as in :func:`attach_eviction_monitor`.
+    """
+    state = {"count": 0}
+
+    def hook(victim_slot: int, victim_part: int) -> None:
+        state["count"] += 1
+        if state["count"] % stride:
+            return
+        q = _sampled_quantile(cache, victim_slot, victim_part, monitor)
+        if q is not None:
+            monitor.observe(q, victim_part)
+
+    cache.demotion_hook = hook
+    return hook
+
+
+class SizeTimeSeries:
+    """Samples target and actual partition sizes over time (Figure 8)."""
+
+    def __init__(self, num_partitions: int):
+        self.num_partitions = num_partitions
+        self.times: list[int] = []
+        self.targets: list[list[int]] = [[] for _ in range(num_partitions)]
+        self.actuals: list[list[int]] = [[] for _ in range(num_partitions)]
+
+    def sample(self, time: int, targets: Sequence[int], actuals: Sequence[int]) -> None:
+        self.times.append(time)
+        for p in range(self.num_partitions):
+            self.targets[p].append(targets[p])
+            self.actuals[p].append(actuals[p])
+
+    def undershoot(self, part: int) -> int:
+        """Largest amount by which ``part`` fell below target."""
+        pairs = zip(self.targets[part], self.actuals[part])
+        return max((t - a for t, a in pairs), default=0)
+
+    def mean_abs_error(self, part: int) -> float:
+        pairs = list(zip(self.targets[part], self.actuals[part]))
+        if not pairs:
+            return 0.0
+        return sum(abs(t - a) for t, a in pairs) / len(pairs)

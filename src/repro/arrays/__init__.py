@@ -1,0 +1,19 @@
+"""Cache arrays: storage organisations that produce replacement candidates."""
+
+from repro.arrays.base import CacheArray, Candidate
+from repro.arrays.hashing import H3Family, H3Hash
+from repro.arrays.random_cands import RandomCandidatesArray
+from repro.arrays.set_assoc import SetAssociativeArray
+from repro.arrays.skew import SkewAssociativeArray
+from repro.arrays.zcache import ZCacheArray
+
+__all__ = [
+    "CacheArray",
+    "Candidate",
+    "H3Family",
+    "H3Hash",
+    "RandomCandidatesArray",
+    "SetAssociativeArray",
+    "SkewAssociativeArray",
+    "ZCacheArray",
+]

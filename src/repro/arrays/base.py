@@ -1,0 +1,182 @@
+"""Cache-array abstraction shared by every array organisation.
+
+A *cache array* (following the framework of the zcache paper [21])
+implements associative lookups and, on each replacement, produces a
+list of *replacement candidates*.  Everything above the array -- the
+replacement policy, the partitioning scheme, the Vantage controller --
+only ever sees candidates and picks one to evict; the array then
+installs the incoming line, performing any internal relocations (for
+zcaches) and reporting the slot moves so per-line metadata kept by
+higher layers can follow the lines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, NamedTuple
+
+
+class Candidate(NamedTuple):
+    """One replacement option returned by :meth:`CacheArray.candidates`.
+
+    A NamedTuple (not a dataclass) because millions are created on the
+    hot path of every simulation.
+
+    Attributes
+    ----------
+    slot:
+        Global slot index of the line that would be evicted.
+    addr:
+        Line address stored at ``slot``, or ``None`` if the slot is
+        empty (installing there evicts nothing).
+    path:
+        Chain of slots from the incoming line's landing slot down to
+        ``slot``.  For set-associative and skew-associative arrays this
+        is always ``(slot,)``.  For zcaches, choosing a deeper
+        candidate relocates each line on the path one step down:
+        ``path[i]``'s line moves to ``path[i+1]``, and the incoming
+        line lands in ``path[0]``.
+    way:
+        The way that ``slot`` belongs to.  Way-partitioning uses this
+        to restrict victims to a partition's assigned ways.
+    """
+
+    slot: int
+    addr: int | None
+    path: tuple[int, ...]
+    way: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.addr is None
+
+
+class CacheArray(ABC):
+    """Associative storage for line addresses.
+
+    Concrete arrays define the geometry (how addresses map to slots)
+    and the candidate-generation process; this base class owns the
+    tag store and the address-to-slot index.
+
+    Line addresses are plain non-negative integers (byte addresses
+    divided by the line size); the array never interprets them beyond
+    hashing.
+    """
+
+    def __init__(self, num_lines: int, num_ways: int):
+        if num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {num_lines}")
+        if num_ways <= 0 or num_lines % num_ways:
+            raise ValueError(
+                f"num_lines ({num_lines}) must be a positive multiple of "
+                f"num_ways ({num_ways})"
+            )
+        self.num_lines = num_lines
+        self.num_ways = num_ways
+        self.num_sets = num_lines // num_ways
+        self._tags: list[int | None] = [None] * num_lines
+        self._slot_of: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Geometry hooks implemented by subclasses.
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def candidates_per_miss(self) -> int:
+        """Nominal number of replacement candidates (R in the paper)."""
+
+    @abstractmethod
+    def positions(self, addr: int) -> tuple[int, ...]:
+        """Slots where ``addr`` may directly reside (one per way)."""
+
+    @abstractmethod
+    def candidates(self, addr: int) -> list[Candidate]:
+        """Replacement options for a miss on ``addr``.
+
+        Empty slots are reported as candidates with ``addr=None``;
+        callers normally install into an empty candidate when one
+        exists, since that evicts nothing.
+        """
+
+    # ------------------------------------------------------------------
+    # Common operations.
+    # ------------------------------------------------------------------
+
+    def lookup(self, addr: int) -> int | None:
+        """Slot holding ``addr``, or ``None`` on a miss."""
+        slot = self._slot_of.get(addr)
+        return slot
+
+    def addr_at(self, slot: int) -> int | None:
+        return self._tags[slot]
+
+    def install(self, addr: int, victim: Candidate) -> list[tuple[int, int]]:
+        """Install ``addr``, evicting ``victim`` (if non-empty).
+
+        Performs the relocations implied by ``victim.path`` and returns
+        them as ``(from_slot, to_slot)`` pairs in execution order so
+        callers can move per-slot metadata alongside the lines.  The
+        incoming line always lands in ``path[0]``.
+        """
+        if addr in self._slot_of:
+            raise ValueError(f"address {addr:#x} is already present")
+        path = victim.path
+        if victim.slot != path[-1]:
+            raise ValueError("victim slot does not terminate its path")
+        if victim.addr is not None:
+            self._remove(path[-1])
+        moves: list[tuple[int, int]] = []
+        for i in range(len(path) - 1, 0, -1):
+            self._move(path[i - 1], path[i])
+            moves.append((path[i - 1], path[i]))
+        self._place(addr, path[0])
+        return moves
+
+    def invalidate(self, addr: int) -> int | None:
+        """Remove ``addr`` if present; returns the freed slot."""
+        slot = self._slot_of.get(addr)
+        if slot is not None:
+            self._remove(slot)
+        return slot
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently stored."""
+        return len(self._slot_of)
+
+    def contents(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(slot, addr)`` for every valid line."""
+        return ((slot, addr) for addr, slot in self._slot_of.items())
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._slot_of
+
+    def __len__(self) -> int:
+        return self.num_lines
+
+    # ------------------------------------------------------------------
+    # Internal tag-store mutations.
+    # ------------------------------------------------------------------
+
+    def _place(self, addr: int, slot: int) -> None:
+        if self._tags[slot] is not None:
+            raise ValueError(f"slot {slot} is occupied")
+        self._tags[slot] = addr
+        self._slot_of[addr] = slot
+
+    def _remove(self, slot: int) -> None:
+        addr = self._tags[slot]
+        if addr is None:
+            raise ValueError(f"slot {slot} is already empty")
+        self._tags[slot] = None
+        del self._slot_of[addr]
+
+    def _move(self, src: int, dst: int) -> None:
+        addr = self._tags[src]
+        if addr is None:
+            raise ValueError(f"cannot move from empty slot {src}")
+        if self._tags[dst] is not None:
+            raise ValueError(f"cannot move into occupied slot {dst}")
+        self._tags[src] = None
+        self._tags[dst] = addr
+        self._slot_of[addr] = dst

@@ -1,0 +1,123 @@
+"""H3 universal hashing (Carter & Wegman, 1977).
+
+The paper indexes all evaluated caches with "simple H3 hashing" [1, 21].
+An H3 function treats the key as a bit vector and XORs together a random
+mask per set bit; the result is a GF(2)-linear map from keys to bucket
+indices.  We implement the standard byte-wise *tabulation* form: eight
+tables of 256 random masks, one table per key byte.  XOR-ing one entry
+per byte computes exactly the same family (the tables encode the
+per-bit masks) at an eighth of the Python-level work.
+"""
+
+from __future__ import annotations
+
+import random
+
+_KEY_BYTES = 8
+_MASK_BITS = 32
+
+
+class H3Hash:
+    """One member of the H3 family, mapping 64-bit keys to buckets.
+
+    Parameters
+    ----------
+    num_buckets:
+        Number of output buckets.  Must be a power of two so the
+        low-bit mask preserves GF(2) linearity.
+    seed:
+        Seed selecting the family member.  Two ``H3Hash`` objects with
+        the same seed compute the same function.
+    """
+
+    def __init__(self, num_buckets: int, seed: int):
+        if num_buckets <= 0 or num_buckets & (num_buckets - 1):
+            raise ValueError(f"num_buckets must be a power of two, got {num_buckets}")
+        self.num_buckets = num_buckets
+        self.seed = seed
+        rng = random.Random(seed)
+        # One random mask per key bit (the H3 definition); each table
+        # entry is the XOR of the masks of its byte value's set bits,
+        # so byte-wise lookup computes the exact H3 function and the
+        # family stays GF(2)-linear.
+        #
+        # The masks of the low log2(num_buckets) key bits are made
+        # unit-triangular (bit i's mask has bit i set and randomness
+        # only below it), which keeps the map bijective on any aligned
+        # 2^b key range: purely random masks can be rank-deficient
+        # over GF(2) and leave whole buckets unreachable for small,
+        # dense address spaces.
+        bucket_bits = num_buckets.bit_length() - 1
+        all_masks = []
+        for i in range(_KEY_BYTES * 8):
+            mask = rng.getrandbits(_MASK_BITS)
+            if i < bucket_bits:
+                low = (rng.getrandbits(i) if i else 0) | (1 << i)
+                mask = (mask & ~(num_buckets - 1)) | low
+            all_masks.append(mask)
+        self._tables = []
+        for byte_index in range(_KEY_BYTES):
+            bit_masks = all_masks[byte_index * 8 : byte_index * 8 + 8]
+            table = []
+            for value in range(256):
+                h = 0
+                for bit in range(8):
+                    if value >> bit & 1:
+                        h ^= bit_masks[bit]
+                table.append(h)
+            self._tables.append(table)
+        self._mask = num_buckets - 1
+
+    def __call__(self, key: int) -> int:
+        t = self._tables
+        h = (
+            t[0][key & 0xFF]
+            ^ t[1][(key >> 8) & 0xFF]
+            ^ t[2][(key >> 16) & 0xFF]
+            ^ t[3][(key >> 24) & 0xFF]
+        )
+        if key >> 32:
+            h ^= (
+                t[4][(key >> 32) & 0xFF]
+                ^ t[5][(key >> 40) & 0xFF]
+                ^ t[6][(key >> 48) & 0xFF]
+                ^ t[7][(key >> 56) & 0xFF]
+            )
+        else:
+            # XOR of the tables' zero entries keeps h(key) consistent
+            # with the full 8-byte evaluation.
+            h ^= t[4][0] ^ t[5][0] ^ t[6][0] ^ t[7][0]
+        return h & self._mask
+
+    def __repr__(self) -> str:
+        return f"H3Hash(num_buckets={self.num_buckets}, seed={self.seed})"
+
+
+class H3Family:
+    """A tuple of independent H3 functions, one per cache way.
+
+    Skew-associative caches and zcaches index each way with a different
+    hash function; this helper derives ``num_ways`` members of the
+    family from a single seed.
+    """
+
+    def __init__(self, num_ways: int, num_buckets: int, seed: int = 0):
+        if num_ways <= 0:
+            raise ValueError(f"num_ways must be positive, got {num_ways}")
+        self.num_ways = num_ways
+        self.num_buckets = num_buckets
+        self.seed = seed
+        base = random.Random(seed)
+        self.functions = tuple(
+            H3Hash(num_buckets, base.getrandbits(62)) for _ in range(num_ways)
+        )
+
+    def __getitem__(self, way: int) -> H3Hash:
+        return self.functions[way]
+
+    def __len__(self) -> int:
+        return self.num_ways
+
+    def positions(self, key: int) -> tuple[int, ...]:
+        """Bucket index of ``key`` in every way."""
+        return tuple(fn(key) for fn in self.functions)

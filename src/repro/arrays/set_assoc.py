@@ -1,0 +1,74 @@
+"""Conventional set-associative cache array.
+
+The index is either the low bits of the line address or an H3 hash of
+it ("hashed set-associative", which the paper uses for every
+set-associative configuration).  A miss offers the W lines of the
+indexed set as replacement candidates, so R = W.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.base import CacheArray, Candidate
+from repro.arrays.hashing import H3Hash
+
+
+class SetAssociativeArray(CacheArray):
+    """W-way set-associative array.
+
+    Slot layout: ``slot = set_index * num_ways + way``, which keeps a
+    set's slots contiguous (convenient for per-set state such as PIPP's
+    LRU chains).
+
+    Parameters
+    ----------
+    num_lines:
+        Total capacity in lines.
+    num_ways:
+        Set associativity.  ``num_lines / num_ways`` must be a power
+        of two.
+    hashed:
+        Index with an H3 hash of the address (default, matching the
+        paper) instead of the address's low bits.
+    seed:
+        Seed for the index hash.
+    """
+
+    def __init__(self, num_lines: int, num_ways: int, hashed: bool = True, seed: int = 0):
+        super().__init__(num_lines, num_ways)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"num_sets must be a power of two, got {self.num_sets}")
+        self.hashed = hashed
+        self._hash = H3Hash(self.num_sets, seed) if hashed else None
+        self._set_mask = self.num_sets - 1
+        self._index_cache: dict[int, int] = {}
+
+    @property
+    def candidates_per_miss(self) -> int:
+        return self.num_ways
+
+    def set_index(self, addr: int) -> int:
+        """Set index of ``addr`` (hashed or modulo)."""
+        if self._hash is None:
+            return addr & self._set_mask
+        idx = self._index_cache.get(addr)
+        if idx is None:
+            idx = self._hash(addr)
+            self._index_cache[addr] = idx
+        return idx
+
+    def positions(self, addr: int) -> tuple[int, ...]:
+        base = self.set_index(addr) * self.num_ways
+        return tuple(range(base, base + self.num_ways))
+
+    def candidates(self, addr: int) -> list[Candidate]:
+        base = self.set_index(addr) * self.num_ways
+        tags = self._tags
+        return [
+            Candidate(base + way, tags[base + way], (base + way,), way)
+            for way in range(self.num_ways)
+        ]
+
+    def set_slots(self, set_index: int) -> range:
+        """Slots of one set, in way order (used by per-set policies)."""
+        base = set_index * self.num_ways
+        return range(base, base + self.num_ways)

@@ -1,0 +1,51 @@
+"""Skew-associative cache array (Seznec, 1993).
+
+Each way is a separate bank indexed with its own H3 hash function, so
+conflicts in one way are spread out across the others.  A miss offers
+one candidate per way (R = W), with no relocation: a skew cache is a
+zcache whose replacement walk stops at the first level.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.base import CacheArray, Candidate
+from repro.arrays.hashing import H3Family
+
+
+class SkewAssociativeArray(CacheArray):
+    """W-way skew-associative array.
+
+    Slot layout: ``slot = way * num_sets + h_way(addr)``; each way owns
+    a contiguous bank of ``num_sets`` slots.
+    """
+
+    def __init__(self, num_lines: int, num_ways: int, seed: int = 0):
+        super().__init__(num_lines, num_ways)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"num_sets must be a power of two, got {self.num_sets}")
+        self.hashes = H3Family(num_ways, self.num_sets, seed)
+        self._position_cache: dict[int, tuple[int, ...]] = {}
+
+    @property
+    def candidates_per_miss(self) -> int:
+        return self.num_ways
+
+    def positions(self, addr: int) -> tuple[int, ...]:
+        pos = self._position_cache.get(addr)
+        if pos is None:
+            num_sets = self.num_sets
+            pos = tuple(
+                way * num_sets + fn(addr) for way, fn in enumerate(self.hashes.functions)
+            )
+            self._position_cache[addr] = pos
+        return pos
+
+    def candidates(self, addr: int) -> list[Candidate]:
+        tags = self._tags
+        return [
+            Candidate(slot, tags[slot], (slot,), way)
+            for way, slot in enumerate(self.positions(addr))
+        ]
+
+    def way_of_slot(self, slot: int) -> int:
+        return slot // self.num_sets

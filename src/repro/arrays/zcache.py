@@ -1,0 +1,116 @@
+"""ZCache array (Sanchez & Kozyrakis, MICRO 2010).
+
+A zcache is a skew-associative array whose replacement process *walks*
+the cache: the W direct positions of the incoming address yield W
+first-level candidates; each candidate line can itself be relocated to
+its positions in the other W-1 ways, exposing the lines there as
+second-level candidates, and so on.  A W-way zcache therefore obtains
+an arbitrarily large number of replacement candidates R with only W
+lookups on a hit -- the paper's Z4/52 configuration is a 4-way zcache
+walking to R = 52 candidates (4 + 12 + 36 over three levels).
+
+Evicting a deep candidate relocates every line on its path one step
+down, which :meth:`CacheArray.install` performs and reports, so the
+candidates produced by the walk behave (statistically) like a uniform
+random sample of the cache's lines -- the property Vantage's analysis
+relies on.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.base import Candidate
+from repro.arrays.skew import SkewAssociativeArray
+
+
+class ZCacheArray(SkewAssociativeArray):
+    """W-way zcache providing R candidates per replacement.
+
+    Parameters
+    ----------
+    num_lines:
+        Total capacity in lines.
+    num_ways:
+        Physical ways (W); determines lookup cost.
+    candidates_per_miss:
+        Walk size (R).  Z4/16 and Z4/52 from the paper correspond to
+        ``num_ways=4`` with 16 and 52 candidates.
+    seed:
+        Seed for the per-way H3 hash functions.
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        num_ways: int = 4,
+        candidates_per_miss: int = 52,
+        seed: int = 0,
+    ):
+        super().__init__(num_lines, num_ways, seed)
+        if candidates_per_miss < num_ways:
+            raise ValueError(
+                f"candidates_per_miss ({candidates_per_miss}) must be at least "
+                f"num_ways ({num_ways})"
+            )
+        self._r = candidates_per_miss
+
+    @property
+    def candidates_per_miss(self) -> int:
+        return self._r
+
+    def candidates(self, addr: int) -> list[Candidate]:
+        """Breadth-first replacement walk collecting up to R candidates.
+
+        Empty slots found during the walk are reported as empty
+        candidates (installing there needs no eviction) and are not
+        expanded further, since they hold no line to relocate.
+        """
+        tags = self._tags
+        num_sets = self.num_sets
+        num_ways = self.num_ways
+        positions = self.positions
+        found: list[Candidate] = []
+        visited: set[int] = set()
+        # Frontier of expandable (occupied) candidates, in discovery order.
+        frontier: list[Candidate] = []
+
+        for way, slot in enumerate(positions(addr)):
+            if slot in visited:
+                continue
+            visited.add(slot)
+            line = tags[slot]
+            cand = Candidate(slot, line, (slot,), way)
+            found.append(cand)
+            if line is not None:
+                frontier.append(cand)
+
+        r = self._r
+        while len(found) < r and frontier:
+            next_frontier: list[Candidate] = []
+            for parent in frontier:
+                parent_slot = parent.slot
+                parent_way = parent_slot // num_sets
+                line = tags[parent_slot]
+                if line is None:
+                    # The parent can only become empty through external
+                    # mutation between walks; candidates() is atomic per
+                    # miss, so this is unreachable -- but stay safe.
+                    continue
+                # positions() memoises the per-way hashes of resident
+                # lines, which dominates the walk's cost otherwise.
+                line_positions = positions(line)
+                for way in range(num_ways):
+                    if way == parent_way:
+                        continue
+                    slot = line_positions[way]
+                    if slot in visited:
+                        continue
+                    visited.add(slot)
+                    child = tags[slot]
+                    cand = Candidate(slot, child, parent.path + (slot,), way)
+                    found.append(cand)
+                    if child is not None:
+                        next_frontier.append(cand)
+                    if len(found) >= r:
+                        return found
+            frontier = next_frontier
+        return found

@@ -1,0 +1,147 @@
+"""Command-line interface for the Vantage reproduction.
+
+Subcommands:
+
+- ``list-apps``: the 29 synthetic applications and their categories.
+- ``classify <app>``: run the Table 3 MPKI sweep for one application.
+- ``size-unmanaged``: evaluate the Section 4.3 sizing closed form.
+- ``run-mix``: simulate one multiprogrammed mix under a scheme.
+- ``overheads``: Vantage state-overhead accounting.
+
+Example::
+
+    python -m repro run-mix --mix-class sftn --scheme vantage-z4/52 \
+        --instructions 400000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import required_unmanaged_fraction, vantage_overheads
+from repro.harness import mpki_curve, classify_curve, run_mix
+from repro.harness.classify import SWEEP_LINES
+from repro.sim import large_system, small_system
+from repro.workloads import APPS, CATEGORY_NAMES, make_mix
+
+
+def _cmd_list_apps(args) -> int:
+    print(f"{'app':14s} {'category':>20s} {'kind':>12s} {'ws (lines)':>11s} {'gap':>6s}")
+    for name, app in sorted(APPS.items()):
+        print(
+            f"{name:14s} {CATEGORY_NAMES[app.category]:>20s} "
+            f"{app.kind:>12s} {app.ws_lines:>11d} {app.mean_gap:>6.0f}"
+        )
+    return 0
+
+
+def _cmd_classify(args) -> int:
+    try:
+        app = APPS[args.app]
+    except KeyError:
+        print(f"unknown app {args.app!r}; try `list-apps`")
+        return 1
+    curve = mpki_curve(app, accesses=args.accesses)
+    print(f"{args.app}: declared category {CATEGORY_NAMES[app.category]}")
+    for lines, mpki in zip(SWEEP_LINES, curve):
+        print(f"  {lines * 64 // 1024:>6d} KB: {mpki:8.2f} MPKI")
+    got = classify_curve(curve)
+    print(f"classified as: {CATEGORY_NAMES[got]}")
+    return 0 if got == app.category else 1
+
+
+def _cmd_size_unmanaged(args) -> int:
+    u = required_unmanaged_fraction(args.candidates, args.a_max, args.slack, args.pev)
+    print(
+        f"R={args.candidates}, A_max={args.a_max}, slack={args.slack}, "
+        f"Pev={args.pev:g} -> unmanaged fraction u = {u:.3f}"
+    )
+    return 0
+
+
+def _cmd_overheads(args) -> int:
+    o = vantage_overheads(
+        cache_bytes=args.cache_mb * 1024 * 1024,
+        num_partitions=args.partitions,
+        num_banks=args.banks,
+    )
+    print(f"partition-ID tag bits: {o.partition_id_bits}")
+    print(f"register bits per partition: {o.register_bits_per_partition}")
+    print(f"total extra state: {o.total_extra_bits / 8 / 1024:.1f} KB")
+    print(f"overhead vs data+tags: {o.overhead_fraction:.2%}")
+    return 0
+
+
+def _cmd_run_mix(args) -> int:
+    config = small_system() if args.system == "small" else large_system()
+    if args.epoch_cycles:
+        from dataclasses import replace
+
+        config = replace(config, epoch_cycles=args.epoch_cycles)
+    apps_per_slot = config.num_cores // 4
+    mix = make_mix(args.mix_class, args.mix_index, apps_per_slot=apps_per_slot)
+    print(f"mix {mix.name}: {[a.name for a in mix.apps]}")
+    run = run_mix(mix, args.scheme, config, args.instructions, seed=args.seed)
+    result = run.result
+    print(f"scheme {args.scheme}: throughput {result.throughput:.3f}")
+    for i, core in enumerate(result.cores):
+        print(
+            f"  core {i:>2d} {mix.apps[i].name:12s} ipc={core.ipc:6.3f} "
+            f"l2-miss-rate={result.l2_miss_rates[i]:.3f}"
+        )
+    if hasattr(run.cache, "managed_eviction_fraction"):
+        print(f"managed-eviction fraction: {run.cache.managed_eviction_fraction():.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Vantage cache-partitioning reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list the synthetic applications")
+
+    p = sub.add_parser("classify", help="MPKI sweep for one application")
+    p.add_argument("app")
+    p.add_argument("--accesses", type=int, default=40_000)
+
+    p = sub.add_parser("size-unmanaged", help="Section 4.3 sizing closed form")
+    p.add_argument("--candidates", "-r", type=int, default=52)
+    p.add_argument("--a-max", type=float, default=0.5)
+    p.add_argument("--slack", type=float, default=0.1)
+    p.add_argument("--pev", type=float, default=1e-2)
+
+    p = sub.add_parser("overheads", help="Vantage state-overhead accounting")
+    p.add_argument("--cache-mb", type=int, default=8)
+    p.add_argument("--partitions", type=int, default=32)
+    p.add_argument("--banks", type=int, default=4)
+
+    p = sub.add_parser("run-mix", help="simulate one multiprogrammed mix")
+    p.add_argument("--mix-class", default="sftn")
+    p.add_argument("--mix-index", type=int, default=1)
+    p.add_argument("--scheme", default="vantage-z4/52")
+    p.add_argument("--system", choices=("small", "large"), default="small")
+    p.add_argument("--instructions", type=int, default=400_000)
+    p.add_argument("--epoch-cycles", type=int, default=250_000)
+    p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "list-apps": _cmd_list_apps,
+    "classify": _cmd_classify,
+    "size-unmanaged": _cmd_size_unmanaged,
+    "overheads": _cmd_overheads,
+    "run-mix": _cmd_run_mix,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Vantage: the paper's contribution (controller, config, variants)."""
+
+from repro.core.analytical import AnalyticalVantageCache
+from repro.core.cache import UNMANAGED, VantageCache
+from repro.core.config import VantageConfig
+from repro.core.feedback import build_threshold_table, lookup_threshold
+from repro.core.rrip_variant import VantageDRRIPCache
+
+__all__ = [
+    "AnalyticalVantageCache",
+    "UNMANAGED",
+    "VantageCache",
+    "VantageConfig",
+    "VantageDRRIPCache",
+    "build_threshold_table",
+    "lookup_threshold",
+]

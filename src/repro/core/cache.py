@@ -1,0 +1,402 @@
+"""The Vantage cache controller (Sections 3 and 4 of the paper).
+
+``VantageCache`` implements the *practical* design of Section 4 on top
+of any :class:`~repro.arrays.base.CacheArray`:
+
+- the cache is split into a **managed** and an **unmanaged** region by
+  tagging lines, never by placement (Section 3.3);
+- partition sizes are enforced by **churn-based management**: on every
+  replacement, each candidate below its partition's aperture is
+  *demoted* to the unmanaged region, and the eviction victim is the
+  oldest unmanaged candidate (Section 3.4);
+- apertures are never computed: **feedback-based aperture control**
+  (Section 4.1) lets partitions outgrow their targets slightly and
+  reacts through the demotion-thresholds table;
+- demotions never consult exact eviction priorities:
+  **setpoint-based demotions** (Section 4.2) demote lines whose
+  coarse LRU timestamp falls outside the keep window between the
+  per-partition setpoint and current timestamps.
+
+State mirrors Fig 4: per-line partition tag + 8-bit timestamp, and
+per-partition registers (CurrentTS, SetpointTS, AccessCounter,
+ActualSize, TargetSize, CandsSeen, CandsDemoted, threshold table).
+
+One published ambiguity is resolved here: Section 4.2 and Section 4.3
+state opposite setpoint-adjustment directions; we follow Section 4.3
+(too many demotions => widen the keep window), which is the stable
+negative-feedback direction (see DESIGN.md and
+``tests/core/test_setpoint.py``).
+"""
+
+from __future__ import annotations
+
+from repro.arrays.base import CacheArray, Candidate
+from repro.core.config import VantageConfig
+from repro.core.feedback import build_threshold_table, lookup_threshold
+
+TS_MOD = 256
+#: ``part_of`` value for lines in the unmanaged region.
+UNMANAGED = -1
+#: Initial keep-window width (timestamp distance between CurrentTS and
+#: SetpointTS); feedback moves it from here.
+INITIAL_KEEP_WIDTH = 192
+
+from repro.partitioning.base_cache import PartitionedCache
+
+
+class VantageCache(PartitionedCache):
+    """Vantage-partitioned cache (practical controller, LRU base policy).
+
+    Parameters
+    ----------
+    array:
+        Backing array.  Vantage is designed for zcaches and skew
+        caches (high R, uniform candidates) but also runs on hashed
+        set-associative arrays with weaker guarantees (Fig 10).
+    num_partitions:
+        Number of partitions in the managed region.
+    config:
+        Controller tunables; see :class:`VantageConfig`.
+    """
+
+    allocation_unit = "lines"
+
+    def __init__(
+        self,
+        array: CacheArray,
+        num_partitions: int,
+        config: VantageConfig | None = None,
+    ):
+        super().__init__(array, num_partitions)
+        self.config = config if config is not None else VantageConfig()
+        n = num_partitions
+
+        # --- Per-line state (the tag extensions of Fig 4). ---
+        # ``part_of[slot]`` is the partition for managed lines and
+        # ``UNMANAGED`` for unmanaged ones (None only for empty slots).
+        self.line_ts = [0] * array.num_lines
+
+        # --- Per-partition registers. ---
+        managed = self.config.managed_lines(array.num_lines)
+        base, extra = divmod(managed, n)
+        self.target = [base + (1 if p < extra else 0) for p in range(n)]
+        self.actual_size = [0] * n
+        self.current_ts = [0] * n
+        self.keep_width = [INITIAL_KEEP_WIDTH] * n
+        self.access_counter = [0] * n
+        self.cands_seen = [0] * n
+        self.cands_demoted = [0] * n
+        self._tables = [self._compile_table(t) for t in self.target]
+
+        # --- Unmanaged-region state. ---
+        self.unmanaged_size = 0
+        self.unmanaged_ts = 0
+        self._unmanaged_counter = 0
+
+        # --- Vantage-specific statistics. ---
+        self.demotions = [0] * n
+        self.promotions = [0] * n
+        self.evictions_unmanaged = 0
+        self.evictions_managed = 0
+        #: Optional hook ``fn(slot, part)`` called just before a line
+        #: of ``part`` is demoted (measurement only).
+        self.demotion_hook = None
+
+    # ------------------------------------------------------------------
+    # Configuration / allocation interface.
+    # ------------------------------------------------------------------
+
+    @property
+    def allocation_total(self) -> int:
+        """Lines available for partitioning (the managed region)."""
+        return self.config.managed_lines(self.num_lines)
+
+    def _compile_table(self, target: int) -> list[tuple[int, int]]:
+        cfg = self.config
+        return build_threshold_table(
+            target,
+            a_max=cfg.a_max,
+            slack=cfg.slack,
+            entries=cfg.threshold_entries,
+            candidates_per_adjust=cfg.candidates_per_adjust,
+        )
+
+    def set_allocations(self, units: list[int]) -> None:
+        """Install new target sizes, in lines.
+
+        Targets should sum to at most the managed-region size; a target
+        of 0 deletes the partition (it drains at full aperture).
+        """
+        if len(units) != self.num_partitions:
+            raise ValueError("allocation vector length mismatch")
+        if any(u < 0 for u in units):
+            raise ValueError("targets must be non-negative")
+        if sum(units) > self.allocation_total:
+            raise ValueError(
+                f"targets sum to {sum(units)}, above the managed region "
+                f"({self.allocation_total} lines)"
+            )
+        self.target = list(units)
+        self._tables = [self._compile_table(t) for t in units]
+
+    def partition_size(self, part: int) -> int:
+        """Managed-region footprint of ``part`` (the ActualSize register)."""
+        return self.actual_size[part]
+
+    def partition_sizes(self) -> list[int]:
+        return list(self.actual_size)
+
+    def resize_partition(self, part: int, target_lines: int) -> None:
+        """Change one partition's target, leaving the others alone.
+
+        Resizing is cheap in Vantage (Section 3.4): only the target
+        register and the threshold table change; capacity moves
+        through demotions as the cache runs.
+        """
+        targets = list(self.target)
+        targets[part] = target_lines
+        self.set_allocations(targets)
+
+    def delete_partition(self, part: int) -> None:
+        """Delete a partition: target 0 compiles to a full-aperture
+        threshold table, so its lines drain into the unmanaged region
+        and the ID can be reused once :meth:`partition_is_drained`."""
+        self.resize_partition(part, 0)
+
+    def partition_is_drained(self, part: int, residual_lines: int = 0) -> bool:
+        """Whether a deleted partition's footprint has emptied enough
+        for its identifier to be reused."""
+        return self.actual_size[part] <= residual_lines
+
+    # ------------------------------------------------------------------
+    # Timestamp plumbing.
+    # ------------------------------------------------------------------
+
+    def _tick(self, part: int) -> None:
+        """Advance ``part``'s access counter; bump timestamps every
+        1/16th of the partition's size worth of accesses.  The setpoint
+        moves with CurrentTS, so the keep width is unchanged."""
+        self.access_counter[part] += 1
+        if self.access_counter[part] >= max(1, self.actual_size[part] >> 4):
+            self.access_counter[part] = 0
+            self.current_ts[part] = (self.current_ts[part] + 1) % TS_MOD
+
+    def _tick_unmanaged(self) -> None:
+        self._unmanaged_counter += 1
+        if self._unmanaged_counter >= max(1, self.unmanaged_size >> 4):
+            self._unmanaged_counter = 0
+            self.unmanaged_ts = (self.unmanaged_ts + 1) % TS_MOD
+
+    def staleness(self, slot: int) -> int:
+        """Timestamp distance of the line at ``slot`` within its scope
+        (its partition, or the unmanaged region).  Used by monitors."""
+        owner = self.part_of[slot]
+        if owner == UNMANAGED:
+            return (self.unmanaged_ts - self.line_ts[slot]) % TS_MOD
+        return (self.current_ts[owner] - self.line_ts[slot]) % TS_MOD
+
+    # ------------------------------------------------------------------
+    # Setpoint feedback (Section 4.2 mechanics, Section 4.3 direction).
+    # ------------------------------------------------------------------
+
+    def _adjust_setpoint(self, part: int) -> None:
+        threshold = lookup_threshold(self._tables[part], self.actual_size[part])
+        demoted = self.cands_demoted[part]
+        if self.actual_size[part] <= self.target[part]:
+            # The partition ended the window at/below target: recent
+            # demotion bursts overshot (the size gate stopped them),
+            # so relax the setpoint.  Without this case a low-churn
+            # partition whose demand sits below the smallest table
+            # threshold rails at maximum aperture and demotes
+            # arbitrarily young lines.
+            self._setpoint_demote_less(part)
+        elif demoted > threshold:
+            self._setpoint_demote_less(part)
+        elif demoted < threshold:
+            self._setpoint_demote_more(part)
+        self.cands_demoted[part] = 0
+        self.cands_seen[part] = 0
+
+    def _setpoint_demote_less(self, part: int) -> None:
+        """Demoting too fast: widen the keep window one step."""
+        if self.keep_width[part] < TS_MOD - 1:
+            self.keep_width[part] += 1
+
+    def _setpoint_demote_more(self, part: int) -> None:
+        if self.keep_width[part] > 0:
+            self.keep_width[part] -= 1
+
+    # ------------------------------------------------------------------
+    # Access path.
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, part: int = 0) -> bool:
+        array = self.array
+        slot = array.lookup(addr)
+        if slot is not None:
+            self._hit(slot, part)
+            self._record_access(part, hit=True)
+            return True
+        self._record_access(part, hit=False)
+        self._miss(addr, part)
+        return False
+
+    def _hit(self, slot: int, part: int) -> None:
+        if self.part_of[slot] == UNMANAGED:
+            # Promotion: the line re-joins the accessing partition.
+            self.unmanaged_size -= 1
+            self.part_of[slot] = part
+            self.actual_size[part] += 1
+            self.promotions[part] += 1
+            owner = part
+        else:
+            owner = self.part_of[slot]
+        self._touch(slot, owner)
+        self._tick(owner)
+
+    def _touch(self, slot: int, owner: int) -> None:
+        """Refresh the base-policy rank of a line on a hit (LRU:
+        stamp it with the partition's current timestamp)."""
+        self.line_ts[slot] = self.current_ts[owner]
+
+    def _miss(self, addr: int, part: int) -> None:
+        array = self.array
+        candidates = array.candidates(addr)
+        victim = self._first_empty(candidates)
+        demoted_this_miss: list[Candidate] = []
+        if victim is None:
+            victim = self._replacement(candidates, demoted_this_miss)
+        self._finish_install(addr, part, victim)
+
+    def _replacement(
+        self, candidates: list[Candidate], demoted: list[Candidate]
+    ) -> Candidate:
+        """Demotion checks over all candidates, then victim selection."""
+        part_of = self.part_of
+        line_ts = self.line_ts
+        actual = self.actual_size
+        target = self.target
+        c_adjust = self.config.candidates_per_adjust
+
+        best_unmanaged: Candidate | None = None
+        best_unmanaged_age = -1
+        for cand in candidates:
+            slot = cand.slot
+            owner = part_of[slot]
+            if owner == UNMANAGED:
+                age = (self.unmanaged_ts - line_ts[slot]) % TS_MOD
+                if age > best_unmanaged_age:
+                    best_unmanaged_age = age
+                    best_unmanaged = cand
+                continue
+            # Managed candidate: demotion check.
+            self.cands_seen[owner] += 1
+            if actual[owner] > target[owner] and self._demotable(slot, owner):
+                self._demote(slot, owner)
+                demoted.append(cand)
+            if self.cands_seen[owner] >= c_adjust:
+                self._adjust_setpoint(owner)
+
+        if not demoted:
+            self._on_no_demotions(candidates)
+
+        if best_unmanaged is not None:
+            self.evictions_unmanaged += 1
+            self._evict(best_unmanaged)
+            return best_unmanaged
+
+        # Forced eviction from the managed region (rare if u is sized
+        # correctly): prefer a line we just demoted; otherwise evict
+        # the stalest line of an over-target partition -- charging the
+        # transient to the partitions that exceed their allocations
+        # preserves isolation for the ones that do not -- and nudge
+        # that partition's setpoint, since a forced eviction means its
+        # demotions are lagging its churn.
+        self.evictions_managed += 1
+        if demoted:
+            victim = demoted[0]
+        else:
+            over = [
+                c
+                for c in candidates
+                if actual[part_of[c.slot]] > target[part_of[c.slot]]
+            ]
+            pool = over if over else candidates
+            victim = max(pool, key=lambda c: self.staleness(c.slot))
+            self._setpoint_demote_more(part_of[victim.slot])
+        self._evict(victim)
+        return victim
+
+    def _demotable(self, slot: int, owner: int) -> bool:
+        """Setpoint check: demote lines whose timestamp falls outside
+        the keep window between SetpointTS and CurrentTS (Fig 3b)."""
+        dist = (self.current_ts[owner] - self.line_ts[slot]) % TS_MOD
+        return dist > self.keep_width[owner]
+
+    def _on_no_demotions(self, candidates: list[Candidate]) -> None:
+        """Hook for base policies that must age lines when a full
+        candidate pass demotes nothing (RRIP); LRU ages via time."""
+
+    def _demote(self, slot: int, owner: int) -> None:
+        if self.demotion_hook is not None:
+            self.demotion_hook(slot, owner)
+        self.actual_size[owner] -= 1
+        self.cands_demoted[owner] += 1
+        self.demotions[owner] += 1
+        self.part_of[slot] = UNMANAGED
+        self.line_ts[slot] = self.unmanaged_ts
+        self.unmanaged_size += 1
+        self._tick_unmanaged()
+
+    def _evict(self, victim: Candidate) -> None:
+        slot = victim.slot
+        owner = self.part_of[slot]
+        if owner == UNMANAGED:
+            # Ownership was erased at demotion time; unmanaged
+            # evictions are tracked by evictions_unmanaged/managed.
+            self.unmanaged_size -= 1
+            if self.eviction_hook is not None:
+                self.eviction_hook(slot, UNMANAGED)
+        else:
+            self.actual_size[owner] -= 1
+            self.stats.evictions[owner] += 1
+            if self.eviction_hook is not None:
+                self.eviction_hook(slot, owner)
+        self.part_of[slot] = None
+
+    def _finish_install(self, addr: int, part: int, victim: Candidate) -> None:
+        moves = self.array.install(addr, victim)
+        part_of = self.part_of
+        line_ts = self.line_ts
+        for src, dst in moves:
+            part_of[dst] = part_of[src]
+            part_of[src] = None
+            line_ts[dst] = line_ts[src]
+            self._move_line_state(src, dst)
+        landing = victim.path[0]
+        part_of[landing] = part
+        self._set_inserted_line_state(landing, part, addr)
+        self.actual_size[part] += 1
+        self._tick(part)
+
+    def _move_line_state(self, src: int, dst: int) -> None:
+        """Hook: relocate extra per-line base-policy state (RRPVs)."""
+
+    def _set_inserted_line_state(self, slot: int, part: int, addr: int) -> None:
+        """Base-policy metadata for a freshly inserted line (LRU:
+        stamp with the partition's current timestamp)."""
+        self.line_ts[slot] = self.current_ts[part]
+
+    # ------------------------------------------------------------------
+    # Introspection helpers.
+    # ------------------------------------------------------------------
+
+    def managed_eviction_fraction(self) -> float:
+        """Fraction of all evictions forced out of the managed region
+        (the y-axis of Figure 9b)."""
+        total = self.evictions_managed + self.evictions_unmanaged
+        return self.evictions_managed / total if total else 0.0
+
+    def region_occupancy(self) -> tuple[int, int]:
+        """(managed lines, unmanaged lines) currently resident."""
+        return sum(self.actual_size), self.unmanaged_size

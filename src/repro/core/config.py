@@ -1,0 +1,72 @@
+"""Vantage configuration and unmanaged-region sizing (Section 4.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.sizing import required_unmanaged_fraction
+
+
+@dataclass(frozen=True)
+class VantageConfig:
+    """Tunables of the Vantage controller.
+
+    Attributes
+    ----------
+    unmanaged_fraction:
+        Fraction ``u`` of the cache left unpartitioned.  The paper's
+        throughput results use 5 % (Z4/52) or 10 % (R=16 designs);
+        strong-isolation deployments use 15-20 %.
+    a_max:
+        Maximum aperture: the largest fraction of a partition's
+        candidates the controller will demote.  Beyond it the partition
+        is allowed to outgrow its target instead (Section 3.4).
+    slack:
+        Fraction of the target size over which the aperture ramps
+        linearly from 0 to ``a_max`` (Equation 7).
+    threshold_entries:
+        Entries in the demotion-thresholds lookup table (Fig 3c); the
+        hardware design uses 8.
+    candidates_per_adjust:
+        Candidates seen from a partition between setpoint adjustments
+        (``c`` in Section 4.2; the hardware uses an 8-bit counter,
+        hence 256).
+    """
+
+    unmanaged_fraction: float = 0.05
+    a_max: float = 0.5
+    slack: float = 0.1
+    threshold_entries: int = 8
+    candidates_per_adjust: int = 256
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.unmanaged_fraction < 1.0:
+            raise ValueError(f"unmanaged_fraction must be in (0, 1): {self.unmanaged_fraction}")
+        if not 0.0 < self.a_max <= 1.0:
+            raise ValueError(f"a_max must be in (0, 1]: {self.a_max}")
+        if self.slack <= 0.0:
+            raise ValueError(f"slack must be positive: {self.slack}")
+        if self.threshold_entries < 2:
+            raise ValueError("threshold_entries must be at least 2")
+        if self.candidates_per_adjust < 8:
+            raise ValueError("candidates_per_adjust must be at least 8")
+
+    @classmethod
+    def for_isolation(
+        cls,
+        candidates_per_miss: int,
+        target_pev: float = 1e-2,
+        a_max: float = 0.5,
+        slack: float = 0.1,
+        **kwargs,
+    ) -> "VantageConfig":
+        """Size the unmanaged region for a worst-case managed-eviction
+        probability ``target_pev`` (the closed form of Section 4.3)."""
+        u = required_unmanaged_fraction(
+            candidates_per_miss, a_max=a_max, slack=slack, pev=target_pev
+        )
+        return cls(unmanaged_fraction=u, a_max=a_max, slack=slack, **kwargs)
+
+    def managed_lines(self, num_lines: int) -> int:
+        """Lines in the managed region for a cache of ``num_lines``."""
+        return num_lines - int(round(self.unmanaged_fraction * num_lines))

@@ -1,0 +1,62 @@
+"""Feedback-based aperture control helpers (Section 4.1, Fig 3a/3c).
+
+The practical controller never computes apertures explicitly.  At
+resize time it compiles the linear transfer function of Equation 7
+into a small *demotion-thresholds lookup table*: entry ``i`` maps a
+range of partition sizes to the number of demotions expected per
+``c`` candidates seen.  At run time, the setpoint-adjustment logic
+compares the demotions actually performed against the table entry for
+the partition's current size -- pure negative feedback, no division.
+
+The paper's Fig 3c example (target 1000 lines, 10 % slack, 4 entries,
+``c`` = 256, ``A_max`` = 0.5) compiles to size bounds 1000 / 1034 /
+1067 / 1101 with thresholds 32 / 64 / 96 / 128 -- reproduced exactly
+by :func:`build_threshold_table` and pinned by a unit test.
+"""
+
+from __future__ import annotations
+
+
+def build_threshold_table(
+    target: int,
+    a_max: float,
+    slack: float,
+    entries: int = 8,
+    candidates_per_adjust: int = 256,
+) -> list[tuple[int, int]]:
+    """Compile Equation 7 into ``(size_lower_bound, demotions)`` rows.
+
+    Row ``i`` (0-based) applies to sizes in ``[bound_i, bound_{i+1})``
+    and demands ``round(c * a_max * (i + 1) / entries)`` demotions per
+    ``c`` candidates.  The last row is open-ended, demanding the full
+    ``A_max`` demotion rate.  A zero ``target`` (deleted partition)
+    compiles to a single full-aperture row.
+    """
+    full = round(candidates_per_adjust * a_max)
+    if target <= 0:
+        return [(1, full)]
+    table = []
+    span = slack * target / (entries - 1)
+    for i in range(entries):
+        if i == 0:
+            bound = target
+        elif i == entries - 1:
+            # Beyond the slack region: full A_max aperture.
+            bound = int((1.0 + slack) * target) + 1
+        else:
+            bound = target + int(i * span) + 1
+        demotions = round(candidates_per_adjust * a_max * (i + 1) / entries)
+        table.append((bound, demotions))
+    return table
+
+
+def lookup_threshold(table: list[tuple[int, int]], size: int) -> int:
+    """Demotion threshold for ``size``: the row with the largest bound
+    not exceeding it, or 0 when the partition is at/below target."""
+    threshold = 0
+    for bound, demotions in table:
+        if size >= bound:
+            threshold = demotions
+        else:
+            break
+    return threshold

@@ -1,0 +1,116 @@
+"""Mix runners: wire workloads, schemes, UCP and the CMP together.
+
+``run_mix`` simulates one multiprogrammed mix on one scheme and
+returns the :class:`~repro.sim.system.SystemResult`;
+``relative_throughputs`` runs a scheme set against a baseline and
+returns the normalised throughputs the paper's Figures 6, 7, 9, 10
+and 11 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.allocation import UCPPolicy, UMonitor
+from repro.analysis.stats import SizeTimeSeries
+from repro.harness.schemes import build_cache
+from repro.sim import CMPSystem, SystemConfig, SystemResult
+from repro.workloads import Mix
+
+#: UMON associativity per system scale (the paper configures UMONs
+#: with the same way count way-partitioning and PIPP use).
+UMON_WAYS_SMALL = 16
+UMON_WAYS_LARGE = 64
+VANTAGE_GRANULARITY = 256
+
+
+def build_policy(cache, config: SystemConfig, seed: int = 0) -> UCPPolicy:
+    """A UCP policy matched to the cache's allocation unit."""
+    umon_ways = UMON_WAYS_SMALL if config.num_cores <= 8 else UMON_WAYS_LARGE
+    model_sets = max(64, config.l2_lines // umon_ways)
+    # Round down to a power of two for the set-index hash.
+    model_sets = 1 << (model_sets.bit_length() - 1)
+    monitors = [
+        UMonitor(umon_ways, model_sets, sampled_sets=64, seed=seed + 17 * part)
+        for part in range(config.num_cores)
+    ]
+    if cache.allocation_unit == "ways":
+        return UCPPolicy(monitors, total_units=cache.allocation_total, min_units=1)
+    return UCPPolicy(
+        monitors,
+        total_units=cache.allocation_total,
+        min_units=1,
+        granularity=VANTAGE_GRANULARITY,
+    )
+
+
+@dataclass
+class MixRun:
+    """Everything one simulation produced (for deeper inspection)."""
+
+    result: SystemResult
+    cache: object
+    system: CMPSystem
+    size_series: SizeTimeSeries | None = None
+
+
+def run_mix(
+    mix: Mix,
+    scheme: str,
+    config: SystemConfig,
+    instructions: int,
+    seed: int = 0,
+    partitioned: bool | None = None,
+    size_sample_cycles: int | None = None,
+    use_l1: bool = False,
+) -> MixRun:
+    """Simulate ``mix`` under ``scheme``.
+
+    ``partitioned=None`` infers it from the scheme name: baseline
+    policies run without UCP, partitioning schemes with it.
+    """
+    if mix.num_cores != config.num_cores:
+        raise ValueError(
+            f"mix {mix.name} has {mix.num_cores} apps but the system has "
+            f"{config.num_cores} cores"
+        )
+    cache = build_cache(scheme, config.l2_lines, config.num_cores, seed=seed)
+    if partitioned is None:
+        partitioned = any(
+            scheme.lower().startswith(prefix)
+            for prefix in ("vantage", "waypart", "pipp")
+        )
+    policy = build_policy(cache, config, seed) if partitioned else None
+    series = None
+    if size_sample_cycles is not None:
+        series = SizeTimeSeries(config.num_cores)
+    system = CMPSystem(
+        cache,
+        mix.trace_factories(seed),
+        config,
+        policy=policy,
+        use_l1=use_l1,
+        size_series=series,
+        size_sample_cycles=size_sample_cycles,
+    )
+    result = system.run(instructions)
+    return MixRun(result=result, cache=cache, system=system, size_series=series)
+
+
+def relative_throughputs(
+    mixes: list[Mix],
+    schemes: list[str],
+    baseline: str,
+    config: SystemConfig,
+    instructions: int,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Throughput of each scheme on each mix, normalised to the
+    baseline scheme on the same mix (Fig 6a / Fig 7 data)."""
+    out: dict[str, list[float]] = {scheme: [] for scheme in schemes}
+    for mix in mixes:
+        base = run_mix(mix, baseline, config, instructions, seed).result.throughput
+        for scheme in schemes:
+            res = run_mix(mix, scheme, config, instructions, seed).result.throughput
+            out[scheme].append(res / base if base else 0.0)
+    return out

@@ -1,0 +1,101 @@
+"""Scheme factory: build any cache configuration the paper evaluates.
+
+Scheme names compose a policy/scheme token and an array token, e.g.
+``vantage-z4/52``, ``waypart-sa16``, ``pipp-sa64``, ``lru-z4/16``,
+``drrip-z4/52``, ``vantage-analytical-z4/52``, ``vantage-rc52``.
+
+Vantage unmanaged-region defaults follow Section 6: 5 % for
+high-candidate designs (R >= 52) and 10 % for R = 16 designs, with
+``A_max = 0.5`` and ``slack = 0.1``.
+"""
+
+from __future__ import annotations
+
+from repro.arrays import (
+    CacheArray,
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+from repro.core import (
+    AnalyticalVantageCache,
+    VantageCache,
+    VantageConfig,
+    VantageDRRIPCache,
+)
+from repro.partitioning import BaselineCache, PIPPCache, WayPartitionedCache
+from repro.replacement import make_policy
+
+
+def build_array(token: str, num_lines: int, seed: int = 0) -> CacheArray:
+    """Array tokens: ``saN`` (hashed set-assoc), ``zW/R`` (zcache),
+    ``skewN``, ``rcR`` (idealised random candidates)."""
+    token = token.lower()
+    if token.startswith("sa"):
+        return SetAssociativeArray(num_lines, int(token[2:]), hashed=True, seed=seed)
+    if token.startswith("skew"):
+        return SkewAssociativeArray(num_lines, int(token[4:]), seed=seed)
+    if token.startswith("z"):
+        ways, _, cands = token[1:].partition("/")
+        return ZCacheArray(
+            num_lines,
+            num_ways=int(ways),
+            candidates_per_miss=int(cands or 52),
+            seed=seed,
+        )
+    if token.startswith("rc"):
+        return RandomCandidatesArray(num_lines, int(token[2:]), seed=seed)
+    raise ValueError(f"unknown array token {token!r}")
+
+
+def default_vantage_config(array: CacheArray) -> VantageConfig:
+    """The paper's per-design unmanaged sizing (Section 6.2)."""
+    u = 0.05 if array.candidates_per_miss >= 52 else 0.10
+    return VantageConfig(unmanaged_fraction=u, a_max=0.5, slack=0.1)
+
+
+def build_cache(
+    scheme: str,
+    num_lines: int,
+    num_partitions: int,
+    seed: int = 0,
+    vantage_config: VantageConfig | None = None,
+):
+    """Instantiate a full cache (array + scheme) from its name."""
+    name = scheme.lower()
+    known_kinds = (
+        "vantage-analytical",
+        "vantage-drrip",
+        "vantage",
+        "ta-drrip",
+        "drrip",
+        "srrip",
+        "brrip",
+        "waypart",
+        "pipp",
+        "lru",
+        "lfu",
+        "random",
+    )
+    kind = next((k for k in known_kinds if name.startswith(k + "-")), None)
+    if kind is None:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    array_token = name[len(kind) + 1 :]
+    array = build_array(array_token, num_lines, seed)
+
+    if kind in ("lru", "srrip", "brrip", "drrip", "ta-drrip", "lfu", "random"):
+        policy = make_policy(kind, num_lines)
+        return BaselineCache(array, policy, num_partitions)
+    if kind == "waypart":
+        return WayPartitionedCache(array, num_partitions)
+    if kind == "pipp":
+        return PIPPCache(array, num_partitions, seed=seed)
+    config = vantage_config or default_vantage_config(array)
+    if kind == "vantage":
+        return VantageCache(array, num_partitions, config)
+    if kind == "vantage-drrip":
+        return VantageDRRIPCache(array, num_partitions, config, seed=seed)
+    if kind == "vantage-analytical":
+        return AnalyticalVantageCache(array, num_partitions, config)
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,74 @@
+"""Result-table formatting shared by the benchmarks.
+
+Each benchmark prints the same kind of rows the paper's figures plot;
+these helpers keep the output format consistent and save raw results
+as JSON next to the benchmarks for later inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.stats import fraction_above, geo_mean
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+
+def distribution_row(name: str, rel_throughputs: Sequence[float]) -> dict:
+    """Summary of one scheme's normalised-throughput distribution:
+    the quantities the text of Section 6.1 quotes."""
+    return {
+        "scheme": name,
+        "geomean": geo_mean(rel_throughputs),
+        "improved_frac": fraction_above(rel_throughputs, 1.0),
+        "degraded_frac": fraction_above([-x for x in rel_throughputs], -1.0),
+        "best": max(rel_throughputs),
+        "worst": min(rel_throughputs),
+    }
+
+
+def format_distribution_table(rows: list[dict], title: str) -> str:
+    lines = [title]
+    header = f"{'scheme':28s} {'geomean':>8s} {'improved':>9s} {'degraded':>9s} {'best':>7s} {'worst':>7s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row['scheme']:28s} "
+            f"{row['geomean']:8.3f} "
+            f"{row['improved_frac']:8.0%} "
+            f"{row['degraded_frac']:8.0%} "
+            f"{row['best']:7.3f} "
+            f"{row['worst']:7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_curve_table(
+    title: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    fmt: str = "{:.4g}",
+) -> str:
+    """Aligned table with one column per named series (figure data)."""
+    lines = [title]
+    names = list(series)
+    header = f"{x_label:>12s} " + " ".join(f"{n:>14s}" for n in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for i, x in enumerate(xs):
+        cells = " ".join(f"{fmt.format(series[n][i]):>14s}" for n in names)
+        lines.append(f"{fmt.format(x):>12s} {cells}")
+    return "\n".join(lines)
+
+
+def save_results(name: str, payload: dict) -> Path:
+    """Persist one experiment's raw output under ``results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    return path

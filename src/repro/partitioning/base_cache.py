@@ -1,0 +1,220 @@
+"""Shared cache front-end and the unpartitioned baseline.
+
+Every cache in this repository -- the LRU/RRIP baselines,
+way-partitioning, PIPP and Vantage -- presents the same surface:
+
+``access(addr, part) -> bool``
+    Perform one access on behalf of partition ``part`` (a thread, in
+    the paper's evaluation); returns ``True`` on a hit.
+
+``set_allocations(units)``
+    Install new per-partition capacity targets; the unit (ways or
+    lines) depends on the scheme and is exposed as
+    :attr:`allocation_unit` / :attr:`allocation_total`.
+
+All caches also keep, per slot, the partition that inserted the line
+(`part_of`), so experiments can measure each partition's *actual*
+footprint under any scheme -- the quantity plotted in Figure 8.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arrays.base import CacheArray, Candidate
+from repro.replacement.base import ReplacementPolicy
+
+
+@dataclass
+class CacheStats:
+    """Per-partition access statistics.
+
+    ``evictions[p]`` counts evictions whose *victim* belonged to
+    partition ``p`` (the interference-relevant direction), regardless
+    of which partition's miss caused them.
+    """
+
+    num_partitions: int
+    accesses: list[int] = field(default_factory=list)
+    hits: list[int] = field(default_factory=list)
+    misses: list[int] = field(default_factory=list)
+    evictions: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name in ("accesses", "hits", "misses", "evictions"):
+            if not getattr(self, name):
+                setattr(self, name, [0] * self.num_partitions)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(self.accesses)
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses)
+
+    def miss_rate(self, part: int | None = None) -> float:
+        if part is None:
+            acc, miss = self.total_accesses, self.total_misses
+        else:
+            acc, miss = self.accesses[part], self.misses[part]
+        return miss / acc if acc else 0.0
+
+    def reset(self) -> None:
+        n = self.num_partitions
+        self.accesses = [0] * n
+        self.hits = [0] * n
+        self.misses = [0] * n
+        self.evictions = [0] * n
+
+
+class PartitionedCache(ABC):
+    """Common behaviour for every cache front-end.
+
+    Parameters
+    ----------
+    array:
+        Backing :class:`CacheArray`.
+    num_partitions:
+        Number of partitions the scheme must support (1 for the
+        unpartitioned baseline).
+    """
+
+    #: "ways" or "lines" -- the unit of ``set_allocations``.
+    allocation_unit: str = "lines"
+
+    def __init__(self, array: CacheArray, num_partitions: int):
+        if num_partitions <= 0:
+            raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        self.array = array
+        self.num_partitions = num_partitions
+        self.num_lines = array.num_lines
+        self.stats = CacheStats(num_partitions)
+        self.part_of: list[int | None] = [None] * array.num_lines
+        self._sizes = [0] * num_partitions
+        #: Optional measurement hook called as ``fn(victim_slot, victim_part)``
+        #: immediately *before* an occupied victim is evicted.
+        self.eviction_hook: Callable[[int, int], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Public surface.
+    # ------------------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def allocation_total(self) -> int:
+        """Total capacity available for allocation, in allocation units."""
+
+    @abstractmethod
+    def set_allocations(self, units: list[int]) -> None:
+        """Install per-partition targets (length ``num_partitions``)."""
+
+    @abstractmethod
+    def access(self, addr: int, part: int = 0) -> bool:
+        """Perform one access; returns ``True`` on hit."""
+
+    def partition_size(self, part: int) -> int:
+        """Current footprint of ``part`` in lines (measured, not target)."""
+        return self._sizes[part]
+
+    def partition_sizes(self) -> list[int]:
+        return list(self._sizes)
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers for subclasses.
+    # ------------------------------------------------------------------
+
+    def _record_access(self, part: int, hit: bool) -> None:
+        st = self.stats
+        st.accesses[part] += 1
+        if hit:
+            st.hits[part] += 1
+        else:
+            st.misses[part] += 1
+
+    def _evict_bookkeeping(self, victim: Candidate) -> None:
+        """Account for the eviction of an occupied ``victim``."""
+        owner = self.part_of[victim.slot]
+        if owner is not None:
+            if self.eviction_hook is not None:
+                self.eviction_hook(victim.slot, owner)
+            self.stats.evictions[owner] += 1
+            self._sizes[owner] -= 1
+            self.part_of[victim.slot] = None
+
+    def _install_bookkeeping(
+        self, addr: int, part: int, victim: Candidate, moves: list[tuple[int, int]]
+    ) -> int:
+        """Relocate ``part_of`` along ``moves`` and claim the landing slot.
+
+        Returns the slot the new line landed in (``victim.path[0]``).
+        """
+        part_of = self.part_of
+        for src, dst in moves:
+            part_of[dst] = part_of[src]
+            part_of[src] = None
+        landing = victim.path[0]
+        part_of[landing] = part
+        self._sizes[part] += 1
+        return landing
+
+    @staticmethod
+    def _first_empty(candidates: list[Candidate]) -> Candidate | None:
+        for cand in candidates:
+            if cand.addr is None:
+                return cand
+        return None
+
+
+class BaselineCache(PartitionedCache):
+    """Unpartitioned cache: one array plus one replacement policy.
+
+    This is the paper's LRU / RRIP baseline ("LRU-SA16", "LRU-Z4/52",
+    "SRRIP-Z4/52", ...).  Partition IDs are still accepted and tracked
+    so per-thread statistics and footprints can be measured, but they
+    never influence replacement.
+    """
+
+    allocation_unit = "lines"
+
+    def __init__(self, array: CacheArray, policy: ReplacementPolicy, num_partitions: int = 1):
+        super().__init__(array, num_partitions)
+        if policy.num_lines != array.num_lines:
+            raise ValueError("policy and array disagree on num_lines")
+        self.policy = policy
+
+    @property
+    def allocation_total(self) -> int:
+        return self.num_lines
+
+    def set_allocations(self, units: list[int]) -> None:
+        # An unpartitioned cache has nothing to enforce; accept and
+        # ignore so allocation policies can drive any scheme uniformly.
+        if len(units) != self.num_partitions:
+            raise ValueError("allocation vector length mismatch")
+
+    def access(self, addr: int, part: int = 0) -> bool:
+        array = self.array
+        slot = array.lookup(addr)
+        if slot is not None:
+            self.policy.on_hit(slot, part, addr)
+            self._record_access(part, hit=True)
+            return True
+
+        self._record_access(part, hit=False)
+        candidates = array.candidates(addr)
+        victim = self._first_empty(candidates)
+        if victim is None:
+            victim = self.policy.select_victim(candidates)
+            self._evict_bookkeeping(victim)
+        moves = array.install(addr, victim)
+        for src, dst in moves:
+            self.policy.on_move(src, dst)
+        landing = self._install_bookkeeping(addr, part, victim, moves)
+        self.policy.on_insert(landing, part, addr)
+        return False

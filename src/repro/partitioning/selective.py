@@ -1,0 +1,86 @@
+"""Selective cache allocation (CQoS, Iyer 2004) [10].
+
+The earliest of the "soft partitioning by controlling insertion"
+schemes Table 1 groups as policy-based: each partition gets an
+insertion probability ``p``; a missing line is inserted with
+probability ``p`` and *bypassed* (self-replaced) otherwise.  Capacity
+control is indirect -- lowering ``p`` throttles a partition's churn --
+and there are no guarantees on sizes or interference, which is exactly
+the contrast with Vantage the paper draws.
+
+Included as a reference rival: it completes Table 1's design space and
+serves as an ablation for "probability-based" versus "churn-matched"
+capacity control.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arrays.base import CacheArray
+from repro.partitioning.base_cache import PartitionedCache
+from repro.replacement.base import ReplacementPolicy
+from repro.replacement.lru import CoarseLRUPolicy
+
+
+class SelectiveAllocationCache(PartitionedCache):
+    """Probabilistic-insertion cache (selective allocation).
+
+    ``set_allocations`` takes per-partition insertion probabilities in
+    parts-per-1024 (an integer hardware-friendly encoding); 1024 means
+    always insert.
+    """
+
+    allocation_unit = "probability/1024"
+
+    def __init__(
+        self,
+        array: CacheArray,
+        num_partitions: int,
+        policy: ReplacementPolicy | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(array, num_partitions)
+        self.policy = policy if policy is not None else CoarseLRUPolicy(array.num_lines)
+        self._prob = [1024] * num_partitions
+        self._rng = random.Random(seed)
+        self.bypasses = [0] * num_partitions
+
+    @property
+    def allocation_total(self) -> int:
+        return 1024
+
+    def set_allocations(self, units: list[int]) -> None:
+        if len(units) != self.num_partitions:
+            raise ValueError("allocation vector length mismatch")
+        if any(not 0 <= u <= 1024 for u in units):
+            raise ValueError("insertion probabilities must be in [0, 1024]")
+        self._prob = list(units)
+
+    def insertion_probability(self, part: int) -> float:
+        return self._prob[part] / 1024
+
+    def access(self, addr: int, part: int = 0) -> bool:
+        array = self.array
+        slot = array.lookup(addr)
+        if slot is not None:
+            self.policy.on_hit(slot, part, addr)
+            self._record_access(part, hit=True)
+            return True
+
+        self._record_access(part, hit=False)
+        if self._rng.random() >= self.insertion_probability(part):
+            # Bypass: the line is serviced from memory but not cached.
+            self.bypasses[part] += 1
+            return False
+        candidates = array.candidates(addr)
+        victim = self._first_empty(candidates)
+        if victim is None:
+            victim = self.policy.select_victim(candidates)
+            self._evict_bookkeeping(victim)
+        moves = array.install(addr, victim)
+        for src, dst in moves:
+            self.policy.on_move(src, dst)
+        landing = self._install_bookkeeping(addr, part, victim, moves)
+        self.policy.on_insert(landing, part, addr)
+        return False

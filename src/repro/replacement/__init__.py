@@ -1,0 +1,52 @@
+"""Replacement policies usable on any array (set-order-free)."""
+
+from repro.replacement.base import ReplacementPolicy, SlotStatePolicy
+from repro.replacement.lru import CoarseLRUPolicy, PerfectLRUPolicy
+from repro.replacement.other import LFUPolicy, RandomPolicy
+from repro.replacement.rrip import (
+    BRRIPPolicy,
+    DRRIPPolicy,
+    SRRIPPolicy,
+    TADRRIPPolicy,
+)
+
+_POLICIES = {
+    "lru": CoarseLRUPolicy,
+    "perfect-lru": PerfectLRUPolicy,
+    "srrip": SRRIPPolicy,
+    "brrip": BRRIPPolicy,
+    "drrip": DRRIPPolicy,
+    "ta-drrip": TADRRIPPolicy,
+    "lfu": LFUPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, num_lines: int, **kwargs) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    Known names: ``lru``, ``perfect-lru``, ``srrip``, ``brrip``,
+    ``drrip``, ``ta-drrip``, ``lfu``, ``random``.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    return cls(num_lines, **kwargs)
+
+
+__all__ = [
+    "BRRIPPolicy",
+    "CoarseLRUPolicy",
+    "DRRIPPolicy",
+    "LFUPolicy",
+    "PerfectLRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SRRIPPolicy",
+    "SlotStatePolicy",
+    "TADRRIPPolicy",
+    "make_policy",
+]

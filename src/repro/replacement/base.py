@@ -1,0 +1,75 @@
+"""Replacement-policy abstraction.
+
+Policies keep per-slot metadata (timestamps, RRPVs, counters), observe
+hits / insertions / relocations, and pick a victim among the
+replacement candidates an array offers.  They are deliberately
+*set-order-free*: zcaches and skew caches break the concept of a set,
+so a policy may only rely on per-line state and global counters (the
+constraint Section 3.2 of the paper calls out).
+
+The Vantage controller does **not** use these classes -- it embeds its
+own per-partition coarse-timestamp LRU / RRIP state (Section 4) -- but
+the unpartitioned baseline and way-partitioning do, and the RRIP
+family here is the comparison set for Figure 11.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.arrays.base import Candidate
+
+
+class ReplacementPolicy(ABC):
+    """Per-line ranking used by non-Vantage caches.
+
+    ``part`` arguments identify the accessing partition (thread); most
+    policies ignore it, thread-aware ones (TA-DRRIP) do not.
+    """
+
+    name = "base"
+
+    def __init__(self, num_lines: int):
+        if num_lines <= 0:
+            raise ValueError(f"num_lines must be positive, got {num_lines}")
+        self.num_lines = num_lines
+
+    @abstractmethod
+    def on_hit(self, slot: int, part: int, addr: int) -> None:
+        """A lookup hit the line at ``slot``."""
+
+    @abstractmethod
+    def on_insert(self, slot: int, part: int, addr: int) -> None:
+        """A new line was installed at ``slot`` (a miss was serviced)."""
+
+    @abstractmethod
+    def select_victim(self, candidates: list[Candidate]) -> Candidate:
+        """Choose the line to evict among occupied ``candidates``."""
+
+    def on_move(self, src: int, dst: int) -> None:
+        """The line at ``src`` was relocated to ``dst`` (zcache walks)."""
+
+    def on_invalidate(self, slot: int) -> None:
+        """The line at ``slot`` was removed without replacement."""
+
+    def age_key(self, slot: int) -> int:
+        """Monotone staleness key: larger means closer to eviction.
+
+        Used only for measurement (empirical associativity CDFs); the
+        default of 0 makes every line look equally old.
+        """
+        return 0
+
+
+class SlotStatePolicy(ReplacementPolicy):
+    """Helper base class owning one integer of state per slot."""
+
+    def __init__(self, num_lines: int, initial: int = 0):
+        super().__init__(num_lines)
+        self.state = [initial] * num_lines
+
+    def on_move(self, src: int, dst: int) -> None:
+        self.state[dst] = self.state[src]
+
+    def on_invalidate(self, slot: int) -> None:
+        self.state[slot] = 0

@@ -1,0 +1,84 @@
+"""LRU replacement: coarse-timestamp (8-bit) and perfect variants.
+
+Coarse-timestamp LRU is the zcache paper's recommended implementation:
+an 8-bit global timestamp is bumped every ``num_lines / 16`` accesses
+and written into the accessed line's tag; the victim is the candidate
+with the oldest timestamp in modulo-256 arithmetic.  Perfect LRU keeps
+a full 64-bit access counter per line and is used by tests and by the
+UMON shadow tags, where exact stack distances matter.
+"""
+
+from __future__ import annotations
+
+from repro.arrays.base import Candidate
+from repro.replacement.base import SlotStatePolicy
+
+TIMESTAMP_BITS = 8
+TIMESTAMP_MOD = 1 << TIMESTAMP_BITS
+
+
+class CoarseLRUPolicy(SlotStatePolicy):
+    """8-bit coarse-grain timestamp LRU (zcache-style)."""
+
+    name = "lru"
+
+    def __init__(self, num_lines: int):
+        super().__init__(num_lines, initial=0)
+        self.current_ts = 0
+        self._accesses = 0
+        # One timestamp bump every 1/16th of the cache's worth of
+        # accesses keeps wrap-arounds rare (the paper's choice).
+        self._granularity = max(1, num_lines // 16)
+
+    def _tick(self) -> None:
+        self._accesses += 1
+        if self._accesses >= self._granularity:
+            self._accesses = 0
+            self.current_ts = (self.current_ts + 1) % TIMESTAMP_MOD
+
+    def on_hit(self, slot: int, part: int, addr: int) -> None:
+        self.state[slot] = self.current_ts
+        self._tick()
+
+    def on_insert(self, slot: int, part: int, addr: int) -> None:
+        self.state[slot] = self.current_ts
+        self._tick()
+
+    def age_key(self, slot: int) -> int:
+        return (self.current_ts - self.state[slot]) % TIMESTAMP_MOD
+
+    def select_victim(self, candidates: list[Candidate]) -> Candidate:
+        current = self.current_ts
+        state = self.state
+        return max(
+            (c for c in candidates if c.addr is not None),
+            key=lambda c: (current - state[c.slot]) % TIMESTAMP_MOD,
+        )
+
+
+class PerfectLRUPolicy(SlotStatePolicy):
+    """Exact LRU via a monotonically increasing access counter."""
+
+    name = "perfect-lru"
+
+    def __init__(self, num_lines: int):
+        super().__init__(num_lines, initial=0)
+        self._clock = 0
+
+    def on_hit(self, slot: int, part: int, addr: int) -> None:
+        self._clock += 1
+        self.state[slot] = self._clock
+
+    def on_insert(self, slot: int, part: int, addr: int) -> None:
+        self._clock += 1
+        self.state[slot] = self._clock
+
+    def age_key(self, slot: int) -> int:
+        return self._clock - self.state[slot]
+
+    def select_victim(self, candidates: list[Candidate]) -> Candidate:
+        state = self.state
+        return min(
+            (c for c in candidates if c.addr is not None),
+            key=lambda c: state[c.slot],
+        )

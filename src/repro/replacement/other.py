@@ -1,0 +1,59 @@
+"""Additional baseline policies: LFU and random replacement.
+
+Neither appears in the paper's headline results, but both are useful
+reference points (Section 4.2 mentions LFU as an example of a policy
+that generalises to setpoint-based demotions) and exercise the policy
+interface from a different angle in tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arrays.base import Candidate
+from repro.replacement.base import SlotStatePolicy
+
+LFU_MAX = 255
+
+
+class LFUPolicy(SlotStatePolicy):
+    """Least-frequently-used with a saturating 8-bit counter per line."""
+
+    name = "lfu"
+
+    def on_hit(self, slot: int, part: int, addr: int) -> None:
+        if self.state[slot] < LFU_MAX:
+            self.state[slot] += 1
+
+    def on_insert(self, slot: int, part: int, addr: int) -> None:
+        self.state[slot] = 1
+
+    def age_key(self, slot: int) -> int:
+        return LFU_MAX - self.state[slot]
+
+    def select_victim(self, candidates: list[Candidate]) -> Candidate:
+        state = self.state
+        return min(
+            (c for c in candidates if c.addr is not None),
+            key=lambda c: state[c.slot],
+        )
+
+
+class RandomPolicy(SlotStatePolicy):
+    """Uniformly random victim selection."""
+
+    name = "random"
+
+    def __init__(self, num_lines: int, seed: int = 0):
+        super().__init__(num_lines)
+        self._rng = random.Random(seed)
+
+    def on_hit(self, slot: int, part: int, addr: int) -> None:
+        pass
+
+    def on_insert(self, slot: int, part: int, addr: int) -> None:
+        pass
+
+    def select_victim(self, candidates: list[Candidate]) -> Candidate:
+        occupied = [c for c in candidates if c.addr is not None]
+        return self._rng.choice(occupied)

@@ -1,0 +1,18 @@
+"""Trace-driven CMP substrate: cores, L1s, memory, full-system loop."""
+
+from repro.sim.configs import LINE_BYTES, SystemConfig, large_system, small_system
+from repro.sim.l1 import L1Cache
+from repro.sim.memory import MemoryModel
+from repro.sim.system import CMPSystem, CoreResult, SystemResult
+
+__all__ = [
+    "CMPSystem",
+    "CoreResult",
+    "L1Cache",
+    "LINE_BYTES",
+    "MemoryModel",
+    "SystemConfig",
+    "SystemResult",
+    "large_system",
+    "small_system",
+]

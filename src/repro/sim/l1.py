@@ -1,0 +1,46 @@
+"""Private L1 data-cache model.
+
+A plain set-associative LRU cache used to filter core access streams
+before they reach the shared L2.  Kept deliberately simple (lists in
+MRU order) -- it only needs to be a faithful filter, not an object of
+study.
+"""
+
+from __future__ import annotations
+
+
+class L1Cache:
+    """Set-associative LRU L1 (32 KB, 4-way by default)."""
+
+    def __init__(self, size_bytes: int = 32 * 1024, num_ways: int = 4, line_bytes: int = 64):
+        num_lines = size_bytes // line_bytes
+        if num_lines % num_ways:
+            raise ValueError("L1 size must be a multiple of ways * line size")
+        self.num_sets = num_lines // num_ways
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("L1 set count must be a power of two")
+        self.num_ways = num_ways
+        self._mask = self.num_sets - 1
+        # Each set is a list of line addresses in MRU-first order.
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, line_addr: int) -> bool:
+        """Access one line; returns True on hit."""
+        self.accesses += 1
+        ways = self._sets[line_addr & self._mask]
+        try:
+            ways.remove(line_addr)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, line_addr)
+            if len(ways) > self.num_ways:
+                ways.pop()
+            return False
+        ways.insert(0, line_addr)
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,47 @@
+"""Memory-controller model: zero-load latency plus bandwidth queueing.
+
+Table 2 specifies 4 memory controllers, 200 cycles of zero-load
+latency and a peak bandwidth.  Each controller serialises line
+transfers at its share of the peak bandwidth; a request arriving while
+its controller is busy queues behind the in-flight transfers, which is
+how memory-bandwidth contention degrades thrashing mixes.
+"""
+
+from __future__ import annotations
+
+
+class MemoryModel:
+    """Bandwidth-limited multi-controller memory."""
+
+    def __init__(
+        self,
+        num_controllers: int = 4,
+        latency: int = 200,
+        bytes_per_cycle: float = 16.0,
+        line_bytes: int = 64,
+    ):
+        if num_controllers <= 0:
+            raise ValueError("num_controllers must be positive")
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be positive")
+        self.num_controllers = num_controllers
+        self.latency = latency
+        # Cycles one controller needs to stream one line.
+        self.service_cycles = line_bytes / (bytes_per_cycle / num_controllers)
+        self._free_at = [0.0] * num_controllers
+        self.requests = 0
+        self.total_queue_cycles = 0.0
+
+    def request(self, line_addr: int, now: float) -> float:
+        """Issue a line fill at time ``now``; returns its total latency."""
+        self.requests += 1
+        ctrl = line_addr % self.num_controllers
+        start = self._free_at[ctrl] if self._free_at[ctrl] > now else now
+        self._free_at[ctrl] = start + self.service_cycles
+        queue = start - now
+        self.total_queue_cycles += queue
+        return queue + self.latency
+
+    @property
+    def mean_queue_cycles(self) -> float:
+        return self.total_queue_cycles / self.requests if self.requests else 0.0

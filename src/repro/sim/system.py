@@ -1,0 +1,212 @@
+"""Trace-driven CMP simulation (the paper's evaluation substrate).
+
+``CMPSystem`` interleaves per-core access traces over a shared L2 in
+global cycle order: in-order cores execute at IPC = 1 between memory
+events (the paper's Atom-like cores) and stall for the full L2 or
+memory latency on each access, so all performance differences between
+partitioning schemes come from L2 hit/miss behaviour -- exactly the
+paper's setup.
+
+Traces may be *post-L1* (each item is an L2 access preceded by a gap
+of non-memory/ L1-hit instructions; the default, and what the workload
+generators produce) or *memory-instruction level* with ``use_l1=True``
+to filter through private L1 models.
+
+Every ``epoch_cycles`` the system invokes the allocation policy (UCP),
+installs the new targets in the cache, re-runs PIPP's stream
+classification, and optionally samples target/actual partition sizes
+for Figure 8-style time series.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.analysis.stats import SizeTimeSeries
+from repro.sim.configs import SystemConfig
+from repro.sim.l1 import L1Cache
+from repro.sim.memory import MemoryModel
+
+
+@dataclass
+class CoreResult:
+    """Outcome of one core's run."""
+
+    instructions: int
+    cycles: float
+    finished_at: float | None
+
+    @property
+    def ipc(self) -> float:
+        cycles = self.finished_at if self.finished_at is not None else self.cycles
+        return self.instructions / cycles if cycles else 0.0
+
+
+@dataclass
+class SystemResult:
+    """Outcome of a whole-mix simulation."""
+
+    cores: list[CoreResult]
+    total_cycles: float
+    l2_miss_rates: list[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Sum of per-core IPCs (the paper's headline metric)."""
+        return sum(core.ipc for core in self.cores)
+
+
+class CMPSystem:
+    """Cores + private L1s + shared partitioned L2 + memory.
+
+    Parameters
+    ----------
+    cache:
+        Any :class:`~repro.partitioning.base_cache.PartitionedCache`.
+    traces:
+        One iterable factory per core: calling ``factory()`` returns a
+        fresh (infinite or restartable) iterator of ``(gap, addr)``
+        pairs, ``gap`` being the instructions executed since the
+        previous item.
+    config:
+        A :class:`~repro.sim.configs.SystemConfig`.
+    policy:
+        Optional allocation policy with ``observe(part, addr)`` and
+        ``allocate() -> units``; invoked every ``config.epoch_cycles``.
+    use_l1:
+        Route trace items through private L1 models (trace items are
+        then memory instructions, not L2 accesses).
+    size_series / size_sample_cycles:
+        Optional :class:`SizeTimeSeries` sampled on the given period.
+    """
+
+    def __init__(
+        self,
+        cache,
+        traces,
+        config: SystemConfig,
+        policy=None,
+        use_l1: bool = False,
+        size_series: SizeTimeSeries | None = None,
+        size_sample_cycles: int | None = None,
+    ):
+        self.cache = cache
+        self.trace_factories = list(traces)
+        if len(self.trace_factories) != config.num_cores:
+            raise ValueError(
+                f"{config.num_cores} cores need {config.num_cores} traces, "
+                f"got {len(self.trace_factories)}"
+            )
+        self.config = config
+        self.policy = policy
+        self.use_l1 = use_l1
+        self.l1s = [
+            L1Cache(config.l1_bytes, config.l1_ways, config.line_bytes)
+            for _ in range(config.num_cores)
+        ] if use_l1 else None
+        self.memory = MemoryModel(
+            num_controllers=config.mem_controllers,
+            latency=config.mem_latency,
+            bytes_per_cycle=config.mem_bytes_per_cycle,
+            line_bytes=config.line_bytes,
+        )
+        self.size_series = size_series
+        self.size_sample_cycles = size_sample_cycles
+        self._last_units: list[int] | None = None
+
+    # ------------------------------------------------------------------
+
+    def _target_lines(self) -> list[int]:
+        """Last allocation, converted to lines for time-series capture."""
+        cache = self.cache
+        units = self._last_units
+        if units is None:
+            if hasattr(cache, "target"):
+                return list(cache.target)
+            return [0] * cache.num_partitions
+        if cache.allocation_unit == "ways":
+            lines_per_way = cache.num_lines // cache.array.num_ways
+            return [u * lines_per_way for u in units]
+        return list(units)
+
+    def _repartition(self) -> None:
+        units = self.policy.allocate()
+        self._last_units = units
+        self.cache.set_allocations(units)
+        if hasattr(self.cache, "reclassify_streams"):
+            self.cache.reclassify_streams()
+
+    def run(self, instructions_per_core: int) -> SystemResult:
+        """Simulate until every core has executed the target
+        instruction count; IPC is measured at each core's crossing
+        point, as in the paper."""
+        config = self.config
+        cache = self.cache
+        policy = self.policy
+        memory = self.memory
+        l1s = self.l1s
+        hit_latency = config.l2_hit_latency
+
+        num_cores = config.num_cores
+        iterators = [factory() for factory in self.trace_factories]
+        instructions = [0] * num_cores
+        instructions_at_finish = [0] * num_cores
+        finished_at: list[float | None] = [None] * num_cores
+        unfinished = num_cores
+
+        heap: list[tuple[float, int]] = [(0.0, cid) for cid in range(num_cores)]
+        heapq.heapify(heap)
+        next_epoch = float(config.epoch_cycles)
+        sample_period = self.size_sample_cycles
+        next_sample = float(sample_period) if sample_period else None
+        now = 0.0
+
+        while unfinished:
+            now, cid = heapq.heappop(heap)
+            if policy is not None and now >= next_epoch:
+                self._repartition()
+                while now >= next_epoch:
+                    next_epoch += config.epoch_cycles
+            if next_sample is not None and now >= next_sample:
+                self.size_series.sample(
+                    int(now), self._target_lines(), cache.partition_sizes()
+                )
+                while now >= next_sample:
+                    next_sample += sample_period
+
+            try:
+                gap, addr = next(iterators[cid])
+            except StopIteration:
+                iterators[cid] = self.trace_factories[cid]()
+                gap, addr = next(iterators[cid])
+
+            instructions[cid] += gap + 1
+            t = now + gap + 1
+
+            if l1s is not None and l1s[cid].access(addr):
+                pass  # L1 hit: fully pipelined, no stall.
+            else:
+                if policy is not None:
+                    policy.observe(cid, addr)
+                if cache.access(addr, cid):
+                    t += hit_latency
+                else:
+                    t += hit_latency + memory.request(addr, t)
+
+            if finished_at[cid] is None and instructions[cid] >= instructions_per_core:
+                finished_at[cid] = t
+                instructions_at_finish[cid] = instructions[cid]
+                unfinished -= 1
+            heapq.heappush(heap, (t, cid))
+
+        cores = [
+            CoreResult(
+                instructions=instructions_at_finish[cid],
+                cycles=now,
+                finished_at=finished_at[cid],
+            )
+            for cid in range(num_cores)
+        ]
+        miss_rates = [cache.stats.miss_rate(p) for p in range(cache.num_partitions)]
+        return SystemResult(cores=cores, total_cycles=now, l2_miss_rates=miss_rates)

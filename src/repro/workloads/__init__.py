@@ -1,0 +1,41 @@
+"""Synthetic SPEC-like applications and multiprogrammed mixes."""
+
+from repro.workloads.apps import (
+    APPS,
+    CATEGORIES,
+    CATEGORY_NAMES,
+    FITTING,
+    FRIENDLY,
+    INSENSITIVE,
+    STREAMING,
+    AppSpec,
+    make_app,
+)
+from repro.workloads.generators import (
+    loop_stream,
+    phased_stream,
+    scan_stream,
+    zipf_stream,
+)
+from repro.workloads.mixes import CATEGORY_ORDER, Mix, make_mix, make_mixes, mix_classes
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "CATEGORIES",
+    "CATEGORY_NAMES",
+    "CATEGORY_ORDER",
+    "FITTING",
+    "FRIENDLY",
+    "INSENSITIVE",
+    "Mix",
+    "STREAMING",
+    "loop_stream",
+    "make_app",
+    "make_mix",
+    "make_mixes",
+    "mix_classes",
+    "phased_stream",
+    "scan_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,114 @@
+"""Synthetic address-stream generators.
+
+Each generator yields an infinite stream of ``(gap, line_addr)``
+pairs: ``gap`` is the number of instructions executed since the
+previous L2 access (the traces are post-L1, matching how the paper's
+L2 sees each core), and ``line_addr`` is a line address inside the
+application's private address space.
+
+The four shapes map to the paper's four workload categories (Table 3)
+through their miss-versus-capacity curves under LRU:
+
+- ``zipf_stream`` over a small working set: *insensitive* -- all
+  reuse hits in a tiny footprint, so extra capacity changes nothing.
+- ``zipf_stream`` over a large working set: *cache-friendly* -- the
+  skewed popularity law makes misses fall smoothly as capacity grows.
+- ``loop_stream``: *cache-fitting* -- a sequential loop under LRU
+  misses on everything until the allocation covers the whole working
+  set, then on nothing: the sharp knee.
+- ``scan_stream``: *thrashing/streaming* -- sequential access over a
+  region far larger than the cache; no allocation helps.
+
+``phased_stream`` alternates two generators to create the time-varying
+behaviour UCP reacts to in Figure 8.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from collections.abc import Iterator
+
+TracePair = tuple[int, int]
+
+
+def _gap(rng: random.Random, mean_gap: float) -> int:
+    """Geometric-ish instruction gap with the requested mean."""
+    return int(rng.expovariate(1.0 / mean_gap)) if mean_gap > 0 else 0
+
+
+def zipf_stream(
+    ws_lines: int,
+    alpha: float,
+    mean_gap: float,
+    base: int,
+    seed: int,
+) -> Iterator[TracePair]:
+    """Independent references with Zipf(alpha) popularity over
+    ``ws_lines`` lines."""
+    if ws_lines <= 0:
+        raise ValueError("ws_lines must be positive")
+    rng = random.Random(seed)
+    cumulative = []
+    total = 0.0
+    for rank in range(1, ws_lines + 1):
+        total += rank**-alpha
+        cumulative.append(total)
+    # Map popularity ranks to scattered line offsets so the footprint
+    # is not contiguous (defeats accidental spatial effects).
+    perm = list(range(ws_lines))
+    rng.shuffle(perm)
+    while True:
+        u = rng.random() * total
+        rank = bisect.bisect_left(cumulative, u)
+        yield _gap(rng, mean_gap), base + perm[rank]
+
+
+def loop_stream(
+    ws_lines: int,
+    mean_gap: float,
+    base: int,
+    seed: int,
+) -> Iterator[TracePair]:
+    """Sequential loop over ``ws_lines`` lines (cache-fitting knee)."""
+    if ws_lines <= 0:
+        raise ValueError("ws_lines must be positive")
+    rng = random.Random(seed)
+    index = 0
+    while True:
+        yield _gap(rng, mean_gap), base + index
+        index += 1
+        if index >= ws_lines:
+            index = 0
+
+
+def scan_stream(
+    region_lines: int,
+    mean_gap: float,
+    base: int,
+    seed: int,
+) -> Iterator[TracePair]:
+    """Endless sequential scan over a huge region (streaming)."""
+    return loop_stream(region_lines, mean_gap, base, seed)
+
+
+def phased_stream(
+    make_phase_a,
+    make_phase_b,
+    phase_accesses: int,
+    base: int,
+    seed: int,
+) -> Iterator[TracePair]:
+    """Alternate two sub-streams every ``phase_accesses`` accesses.
+
+    ``make_phase_a`` / ``make_phase_b`` are called as
+    ``fn(base, seed)`` and must return generators; phases resume where
+    they left off, preserving each phase's locality.
+    """
+    gen_a = make_phase_a(base, seed)
+    gen_b = make_phase_b(base + (1 << 30), seed + 1)
+    while True:
+        for _ in range(phase_accesses):
+            yield next(gen_a)
+        for _ in range(phase_accesses):
+            yield next(gen_b)

@@ -1,0 +1,95 @@
+"""Multiprogrammed mix construction (Section 5, "Workloads").
+
+The paper forms one *class* per combination-with-repetition of the
+four workload categories taken four at a time -- 35 classes -- and
+samples mixes per class: each slot of the class picks a random
+application from its category.  4-core mixes fill each slot with one
+application; 32-core mixes fill each slot with eight.
+
+Mix names follow the paper's convention: category letters sorted
+(e.g. ``sftn``) plus the mix index within the class (``sftn1``).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+
+from repro.workloads.apps import APPS, CATEGORIES, AppSpec
+
+#: Order the paper uses in mix names (streaming first, e.g. "sftn1").
+CATEGORY_ORDER = "sftn"
+
+
+@dataclass(frozen=True)
+class Mix:
+    """One multiprogrammed workload: an app per core."""
+
+    name: str
+    class_letters: str
+    apps: tuple[AppSpec, ...]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.apps)
+
+    def trace_factories(self, seed: int = 0):
+        """Per-core trace factories with disjoint address spaces."""
+        return [
+            app.trace_factory(base=core << 44, seed=seed * 1000 + core)
+            for core, app in enumerate(self.apps)
+        ]
+
+
+def mix_classes() -> list[str]:
+    """The 35 category classes, as sorted letter strings."""
+    order = {letter: i for i, letter in enumerate(CATEGORY_ORDER)}
+    classes = combinations_with_replacement(CATEGORY_ORDER, 4)
+    return ["".join(sorted(cls, key=order.__getitem__)) for cls in classes]
+
+
+def make_mix(
+    class_letters: str,
+    mix_index: int,
+    apps_per_slot: int = 1,
+    seed: int = 0,
+) -> Mix:
+    """Sample one mix of the given class.
+
+    ``apps_per_slot`` is 1 for 4-core mixes and 8 for 32-core mixes
+    (the paper's "8 randomly chosen workloads per category").
+    """
+    # zlib.crc32, not hash(): string hashing is salted per process and
+    # would make mixes irreproducible across runs.
+    class_key = zlib.crc32(class_letters.encode()) & 0xFFFF
+    rng = random.Random(class_key * 10_007 + mix_index * 131 + seed)
+    apps: list[AppSpec] = []
+    for letter in class_letters:
+        pool = CATEGORIES[letter]
+        for _ in range(apps_per_slot):
+            apps.append(APPS[rng.choice(pool)])
+    return Mix(
+        name=f"{class_letters}{mix_index}",
+        class_letters=class_letters,
+        apps=tuple(apps),
+    )
+
+
+def make_mixes(
+    mixes_per_class: int = 10,
+    apps_per_slot: int = 1,
+    seed: int = 0,
+    class_stride: int = 1,
+) -> list[Mix]:
+    """The full mix suite: ``35 * mixes_per_class`` workloads.
+
+    ``class_stride`` subsamples classes (every ``stride``-th class) so
+    scaled-down runs still span the category space.
+    """
+    mixes = []
+    for cls in mix_classes()[::class_stride]:
+        for i in range(mixes_per_class):
+            mixes.append(make_mix(cls, i + 1, apps_per_slot, seed))
+    return mixes

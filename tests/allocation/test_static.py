@@ -1,0 +1,33 @@
+"""Tests for static allocation policies."""
+
+import pytest
+
+from repro.allocation import EqualSharePolicy, StaticPolicy
+
+
+class TestStaticPolicy:
+    def test_returns_fixed_vector(self):
+        policy = StaticPolicy([100, 200, 300])
+        assert policy.allocate() == [100, 200, 300]
+        policy.observe(0, 42)  # no-op
+        assert policy.allocate() == [100, 200, 300]
+
+    def test_returns_copy(self):
+        policy = StaticPolicy([1, 2])
+        out = policy.allocate()
+        out[0] = 99
+        assert policy.allocate() == [1, 2]
+
+
+class TestEqualShare:
+    def test_even_split(self):
+        policy = EqualSharePolicy(4, 100)
+        assert policy.allocate() == [25, 25, 25, 25]
+
+    def test_remainder_to_first_partitions(self):
+        policy = EqualSharePolicy(3, 10)
+        assert policy.allocate() == [4, 3, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EqualSharePolicy(0, 10)

@@ -1,0 +1,114 @@
+"""Tests for the Lookahead allocation algorithm and the UCP policy."""
+
+import itertools
+
+import pytest
+
+from repro.allocation import UCPPolicy, UMonitor, lookahead_allocate
+
+
+def brute_force_best(curves, total, min_units):
+    """Exhaustively minimise total misses (ground truth for small cases)."""
+    n = len(curves)
+    best, best_misses = None, float("inf")
+    for combo in itertools.product(range(min_units, total + 1), repeat=n):
+        if sum(combo) != total:
+            continue
+        misses = sum(curves[p][combo[p]] for p in range(n))
+        if misses < best_misses:
+            best_misses = misses
+            best = combo
+    return best, best_misses
+
+
+class TestLookahead:
+    def test_greedy_convex_case(self):
+        # Convex curves: lookahead == greedy == optimal.
+        curves = [
+            [100, 60, 30, 10, 5, 4, 3, 2, 1],
+            [100, 95, 90, 85, 80, 75, 70, 65, 60],
+        ]
+        alloc = lookahead_allocate(curves, total_units=8, min_units=1)
+        assert sum(alloc) == 8
+        _, best = brute_force_best(curves, 8, 1)
+        got = sum(curves[p][alloc[p]] for p in range(2))
+        assert got == best
+
+    def test_sees_past_plateaus(self):
+        """The defining Lookahead property: a cliff behind a plateau
+        (cache-fitting app) must still be found."""
+        flat_then_cliff = [100, 100, 100, 100, 100, 0, 0, 0, 0]
+        gentle = [100, 98, 96, 94, 92, 90, 88, 86, 84]
+        alloc = lookahead_allocate([flat_then_cliff, gentle], 8, min_units=1)
+        assert alloc[0] >= 5  # reached the cliff
+
+    def test_matches_brute_force_on_small_cases(self):
+        cases = [
+            [[50, 30, 20, 15, 12, 10], [50, 45, 20, 10, 8, 7]],
+            [[90, 90, 10, 10, 10, 10], [80, 40, 30, 25, 22, 20]],
+            [[100, 0, 0, 0, 0, 0], [100, 99, 98, 0, 0, 0]],
+        ]
+        for curves in cases:
+            alloc = lookahead_allocate(curves, 5, min_units=1)
+            _, best_misses = brute_force_best(curves, 5, 1)
+            got = sum(curves[p][alloc[p]] for p in range(2))
+            # Lookahead is a strong heuristic; allow small slack.
+            assert got <= best_misses * 1.1 + 1
+
+    def test_all_units_always_assigned(self):
+        flat = [[10.0] * 9, [10.0] * 9]
+        alloc = lookahead_allocate(flat, 8, min_units=1)
+        assert sum(alloc) == 8
+
+    def test_min_units_respected(self):
+        curves = [[100, 0, 0, 0, 0], [100, 100, 100, 100, 100]]
+        alloc = lookahead_allocate(curves, 4, min_units=1)
+        assert min(alloc) >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lookahead_allocate([[1, 2]], total_units=4, min_units=0)
+        with pytest.raises(ValueError):
+            lookahead_allocate([[1] * 3, [1] * 3], 2, min_units=2)
+
+    def test_empty(self):
+        assert lookahead_allocate([], 4) == []
+
+
+class TestUCPPolicy:
+    def make_policy(self, granularity=None, total=8):
+        monitors = [UMonitor(8, 1, 1, seed=i) for i in range(2)]
+        return UCPPolicy(monitors, total_units=total, min_units=1, granularity=granularity)
+
+    def test_allocates_to_high_utility_partition(self):
+        policy = self.make_policy()
+        # Partition 0 reuses 6 lines heavily; partition 1 never reuses.
+        for rep in range(50):
+            for a in range(6):
+                policy.observe(0, a)
+        for n in range(300):
+            policy.observe(1, 1000 + n)
+        alloc = policy.allocate()
+        assert sum(alloc) == 8
+        assert alloc[0] > alloc[1]
+
+    def test_line_granularity_scaling(self):
+        policy = self.make_policy(granularity=16, total=1024)
+        for rep in range(50):
+            for a in range(6):
+                policy.observe(0, a)
+        for n in range(300):
+            policy.observe(1, 1000 + n)
+        alloc = policy.allocate()
+        assert sum(alloc) <= 1024
+        assert alloc[0] > alloc[1]
+        # Units are lines, not points.
+        assert max(alloc) > 64
+
+    def test_monitors_decay_after_allocate(self):
+        policy = self.make_policy()
+        for _ in range(10):
+            policy.observe(0, 1)
+        before = policy.monitors[0].accesses
+        policy.allocate()
+        assert policy.monitors[0].accesses == before // 2

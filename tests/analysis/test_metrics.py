@@ -1,0 +1,49 @@
+"""Tests for multiprogrammed performance metrics."""
+
+import pytest
+
+from repro.analysis import (
+    fairness,
+    harmonic_mean_speedup,
+    throughput,
+    weighted_speedup,
+)
+
+
+class TestThroughput:
+    def test_sum_of_ipcs(self):
+        assert throughput([0.5, 0.7, 0.8]) == pytest.approx(2.0)
+
+
+class TestWeightedSpeedup:
+    def test_no_interference_equals_thread_count(self):
+        assert weighted_speedup([0.5, 0.8], [0.5, 0.8]) == pytest.approx(2.0)
+
+    def test_slowdowns_reduce_it(self):
+        assert weighted_speedup([0.25, 0.8], [0.5, 0.8]) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([0.5], [0.5, 0.6])
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+        with pytest.raises(ValueError):
+            weighted_speedup([0.0], [1.0])
+
+
+class TestHarmonicMean:
+    def test_equal_speedups(self):
+        assert harmonic_mean_speedup([0.4, 0.4], [0.8, 0.8]) == pytest.approx(0.5)
+
+    def test_penalises_imbalance(self):
+        balanced = harmonic_mean_speedup([0.4, 0.4], [0.8, 0.8])
+        skewed = harmonic_mean_speedup([0.7, 0.1], [0.8, 0.8])
+        assert skewed < balanced
+
+
+class TestFairness:
+    def test_perfectly_fair(self):
+        assert fairness([0.4, 0.2], [0.8, 0.4]) == pytest.approx(1.0)
+
+    def test_unfair_below_one(self):
+        assert fairness([0.8, 0.2], [0.8, 0.8]) == pytest.approx(0.25)

@@ -1,0 +1,37 @@
+"""Tests for event-strided priority monitors."""
+
+import random
+
+from repro.analysis import PriorityMonitor, attach_demotion_monitor
+from repro.arrays import ZCacheArray
+from repro.core import VantageCache, VantageConfig
+
+
+def run_with_stride(stride, accesses=30_000):
+    array = ZCacheArray(1024, 4, candidates_per_miss=16, seed=0)
+    cache = VantageCache(array, 2, VantageConfig(unmanaged_fraction=0.15))
+    monitor = PriorityMonitor(sample_size=32, seed=1)
+    attach_demotion_monitor(cache, monitor, stride=stride)
+    rng = random.Random(2)
+    for _ in range(accesses):
+        p = rng.randrange(2)
+        cache.access((p << 32) | rng.randrange(2000), p)
+    return cache, monitor
+
+
+class TestStride:
+    def test_stride_subsamples_events(self):
+        cache1, m1 = run_with_stride(1)
+        cache8, m8 = run_with_stride(8)
+        total_demotions = sum(cache8.demotions)
+        assert total_demotions > 0
+        # Strided monitor sees ~1/8th of the events (minus the ones
+        # skipped for too-small in-scope samples).
+        assert len(m8.quantiles) < len(m1.quantiles) / 4
+
+    def test_strided_distribution_is_unbiased(self):
+        _, m1 = run_with_stride(1)
+        _, m8 = run_with_stride(8)
+        median1 = sorted(m1.quantiles)[len(m1.quantiles) // 2]
+        median8 = sorted(m8.quantiles)[len(m8.quantiles) // 2]
+        assert abs(median1 - median8) < 0.12

@@ -1,0 +1,61 @@
+"""Tests for the hardware-cost arithmetic (Section 4.3, Fig 4)."""
+
+import pytest
+
+from repro.analysis import (
+    partition_id_bits,
+    register_bits_per_partition,
+    vantage_overheads,
+)
+
+
+class TestPartitionIdBits:
+    def test_paper_example_32_partitions(self):
+        # 32 partitions + the unmanaged region = 33 IDs = 6 bits.
+        assert partition_id_bits(32) == 6
+
+    def test_small_counts(self):
+        assert partition_id_bits(1) == 1
+        assert partition_id_bits(3) == 2
+        assert partition_id_bits(63) == 6
+        assert partition_id_bits(64) == 7
+
+
+class TestRegisterBits:
+    def test_fig4_register_budget(self):
+        """Fig 4's register list with an 8-entry table: 272 bits, which
+        the paper rounds to 'about 256 bits'."""
+        bits = register_bits_per_partition(threshold_entries=8)
+        assert bits == 272
+        assert abs(bits - 256) / 256 < 0.1
+
+
+class TestTotalOverhead:
+    def test_paper_headline_about_one_and_a_half_percent(self):
+        """8 MB cache, 32 partitions, 4 banks.  Fig 4's own arithmetic
+        gives 1.01% (tags) + ~0.05% (registers) ~= 1.1%; the abstract
+        rounds this up to 'around 1.5%'."""
+        o = vantage_overheads(
+            cache_bytes=8 * 1024 * 1024, num_partitions=32, num_banks=4
+        )
+        assert 0.009 < o.overhead_fraction < 0.015
+
+    def test_tag_share_about_one_percent(self):
+        """Paper: 6 bits on a 64-bit tag + 64-byte line ~= 1.01%."""
+        o = vantage_overheads(num_partitions=32)
+        num_lines = 8 * 1024 * 1024 // 64
+        tag_fraction = (num_lines * 6) / o.baseline_bits
+        assert tag_fraction == pytest.approx(0.0101, abs=0.001)
+
+    def test_register_share_below_half_percent(self):
+        """Paper: 4 KB of registers for 32 partitions x 4 banks."""
+        o = vantage_overheads(num_partitions=32, num_banks=4)
+        register_bits = 4 * 32 * o.register_bits_per_partition
+        assert register_bits / 8 / 1024 == pytest.approx(4.25, abs=0.5)  # ~4 KB
+        assert register_bits / o.baseline_bits < 0.005
+
+    def test_scales_with_partitions(self):
+        small = vantage_overheads(num_partitions=8)
+        large = vantage_overheads(num_partitions=64)
+        assert large.total_extra_bits > small.total_extra_bits
+        assert large.partition_id_bits == 7

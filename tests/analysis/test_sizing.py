@@ -1,0 +1,120 @@
+"""Tests for the sizing/stability models (Equations 4-9, Section 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    aperture,
+    equilibrium_apertures,
+    minimum_stable_size,
+    required_unmanaged_fraction,
+    slack_outgrowth,
+    worst_case_borrowed,
+    worst_case_pev,
+)
+
+
+class TestEquation7Aperture:
+    def test_zero_at_or_below_target(self):
+        assert aperture(900, 1000, 0.5, 0.1) == 0.0
+        assert aperture(1000, 1000, 0.5, 0.1) == 0.0
+
+    def test_linear_ramp(self):
+        assert aperture(1050, 1000, 0.5, 0.1) == pytest.approx(0.25)
+
+    def test_saturates_at_a_max(self):
+        assert aperture(1101, 1000, 0.5, 0.1) == 0.5
+        assert aperture(99_999, 1000, 0.5, 0.1) == 0.5
+
+    def test_deleted_partition_full_aperture(self):
+        assert aperture(50, 0, 0.5, 0.1) == 0.5
+        assert aperture(0, 0, 0.5, 0.1) == 0.0
+
+
+class TestEquation4:
+    def test_paper_worked_example(self):
+        """Section 3.4: 4 equal partitions, C1 = 2*C2, R=16, m=0.625
+        -> A1 = 16%, A2..4 = 8%."""
+        churns = [2.0, 1.0, 1.0, 1.0]
+        sizes = [0.15625] * 4  # equal sizes summing to m
+        apertures = equilibrium_apertures(churns, sizes, r=16, m=0.625)
+        assert apertures[0] == pytest.approx(0.16)
+        for a in apertures[1:]:
+            assert a == pytest.approx(0.08)
+
+    def test_uniform_case_matches_1_over_rm(self):
+        apertures = equilibrium_apertures([1, 1], [0.45, 0.45], r=52, m=0.9)
+        for a in apertures:
+            assert a == pytest.approx(1 / (52 * 0.9))
+
+    def test_zero_size_partition(self):
+        apertures = equilibrium_apertures([1, 1], [0.9, 0.0], r=52, m=0.9)
+        assert apertures[1] == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            equilibrium_apertures([1], [0.5, 0.5], 16, 0.7)
+
+
+class TestStability:
+    def test_minimum_stable_size_formula(self):
+        mss = minimum_stable_size(1.0, 0.9, a_max=0.4, r=52, m=0.9)
+        assert mss == pytest.approx(0.9 / (0.4 * 52 * 0.9))
+
+    def test_worst_case_borrowed_approximation(self):
+        approx = worst_case_borrowed(0.4, 52)
+        assert approx == pytest.approx(1 / (0.4 * 52))
+        exact = worst_case_borrowed(0.4, 52, m=0.9)
+        assert exact == pytest.approx(1 / (0.4 * 52 - 1 / 0.9))
+        assert exact > approx
+
+    def test_paper_borrowing_example(self):
+        """Section 3.4: R=52, A_max=0.4 -> extra 4.8% unmanaged."""
+        assert worst_case_borrowed(0.4, 52) == pytest.approx(0.048, abs=0.001)
+
+    def test_slack_outgrowth_example(self):
+        """Section 4.1: R=52, slack=0.1, A_max=0.4 -> 0.48% of cache."""
+        assert slack_outgrowth(0.1, 0.4, 52) == pytest.approx(0.0048, abs=1e-4)
+
+
+class TestUnmanagedSizing:
+    def test_paper_values_from_fig5(self):
+        """Section 4.3: R=52, A_max=0.4 -> 13% for Pev=1e-2, 21% for 1e-4."""
+        assert required_unmanaged_fraction(52, 0.4, 0.1, 1e-2) == pytest.approx(
+            0.138, abs=0.005
+        )
+        assert required_unmanaged_fraction(52, 0.4, 0.1, 1e-4) == pytest.approx(
+            0.215, abs=0.005
+        )
+
+    def test_monotonicity_in_r(self):
+        u16 = required_unmanaged_fraction(16, 0.4, 0.1, 1e-2)
+        u52 = required_unmanaged_fraction(52, 0.4, 0.1, 1e-2)
+        assert u52 < u16
+
+    def test_monotonicity_in_pev(self):
+        loose = required_unmanaged_fraction(52, 0.4, 0.1, 1e-1)
+        tight = required_unmanaged_fraction(52, 0.4, 0.1, 1e-6)
+        assert tight > loose
+
+    def test_rejects_bad_pev(self):
+        with pytest.raises(ValueError):
+            required_unmanaged_fraction(52, pev=0.0)
+        with pytest.raises(ValueError):
+            required_unmanaged_fraction(52, pev=2.0)
+
+    @given(
+        r=st.integers(min_value=8, max_value=128),
+        pev=st.floats(min_value=1e-6, max_value=0.5),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_with_worst_case_pev(self, r, pev):
+        """worst_case_pev inverts required_unmanaged_fraction."""
+        u = required_unmanaged_fraction(r, 0.5, 0.1, pev)
+        if u < 1.0:
+            recovered = worst_case_pev(u, r, 0.5, 0.1)
+            assert recovered == pytest.approx(pev, rel=1e-6)
+
+    def test_worst_case_pev_saturates_without_buffer(self):
+        assert worst_case_pev(0.01, 52, a_max=0.5, slack=0.1) == 1.0

@@ -1,0 +1,92 @@
+"""Tests for measurement utilities (monitors, time series, metrics)."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    PriorityMonitor,
+    SizeTimeSeries,
+    attach_demotion_monitor,
+    attach_eviction_monitor,
+    fraction_above,
+    geo_mean,
+)
+from repro.arrays import ZCacheArray
+from repro.core import VantageCache, VantageConfig
+from repro.partitioning import BaselineCache
+from repro.replacement import PerfectLRUPolicy
+
+
+class TestMetrics:
+    def test_geo_mean(self):
+        assert geo_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geo_mean([1.0]) == 1.0
+
+    def test_geo_mean_empty(self):
+        with pytest.raises(ValueError):
+            geo_mean([])
+
+    def test_fraction_above(self):
+        assert fraction_above([0.9, 1.1, 1.2], 1.0) == pytest.approx(2 / 3)
+        assert fraction_above([], 1.0) == 0.0
+
+
+class TestSizeTimeSeries:
+    def test_sampling_and_undershoot(self):
+        ts = SizeTimeSeries(2)
+        ts.sample(0, [100, 200], [90, 210])
+        ts.sample(10, [100, 200], [100, 195])
+        assert ts.undershoot(0) == 10
+        assert ts.undershoot(1) == 5
+        assert ts.mean_abs_error(0) == pytest.approx(5.0)
+
+    def test_empty_series(self):
+        ts = SizeTimeSeries(1)
+        assert ts.undershoot(0) == 0
+        assert ts.mean_abs_error(0) == 0.0
+
+
+class TestEvictionMonitor:
+    def test_baseline_lru_evicts_old_lines(self):
+        """On an unpartitioned LRU zcache with R=16, evictions must be
+        heavily skewed toward the oldest lines."""
+        array = ZCacheArray(512, 4, candidates_per_miss=16, seed=0)
+
+        class _Cache(BaselineCache):
+            def staleness(self, slot):
+                return self.policy.age_key(slot)
+
+        cache = _Cache(array, PerfectLRUPolicy(512))
+        monitor = PriorityMonitor(sample_size=64, seed=1)
+        attach_eviction_monitor(cache, monitor, per_partition=False)
+        rng = random.Random(2)
+        for _ in range(8000):
+            cache.access(rng.randrange(1024))
+        assert len(monitor.quantiles) > 1000
+        median = sorted(monitor.quantiles)[len(monitor.quantiles) // 2]
+        assert median > 0.85
+
+    def test_vantage_demotion_monitor(self):
+        """Vantage demotions land in the top quantiles of the
+        partition's age distribution (the Fig 8 heat-map claim)."""
+        array = ZCacheArray(2048, 4, candidates_per_miss=52, seed=1)
+        cache = VantageCache(array, 2, VantageConfig(unmanaged_fraction=0.1))
+        cache.set_allocations([900, 943])
+        monitor = PriorityMonitor(sample_size=64, seed=3)
+        attach_demotion_monitor(cache, monitor)
+        rng = random.Random(4)
+        for _ in range(50_000):
+            p = rng.randrange(2)
+            cache.access((p << 32) | rng.randrange(4000), p)
+        assert len(monitor.quantiles) > 2000
+        # Steady state: most demotions in the top third of ages.
+        tail = sorted(monitor.quantiles)[len(monitor.quantiles) // 2 :]
+        assert min(tail) > 0.6
+
+    def test_monitor_partition_filter(self):
+        m = PriorityMonitor()
+        m.observe(0.5, 0)
+        m.observe(0.9, 1)
+        assert m.quantiles_for(0) == [0.5]
+        assert m.cdf([1.0], part=1) == [1.0]

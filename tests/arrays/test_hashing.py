@@ -1,0 +1,94 @@
+"""Tests for the H3 hash family."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays.hashing import H3Family, H3Hash
+
+
+class TestH3Hash:
+    def test_deterministic_same_seed(self):
+        a = H3Hash(1024, seed=7)
+        b = H3Hash(1024, seed=7)
+        assert all(a(x) == b(x) for x in range(1000))
+
+    def test_different_seeds_differ(self):
+        a = H3Hash(1024, seed=1)
+        b = H3Hash(1024, seed=2)
+        assert any(a(x) != b(x) for x in range(100))
+
+    def test_range(self):
+        h = H3Hash(256, seed=3)
+        for x in range(5000):
+            assert 0 <= h(x) < 256
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            H3Hash(100, seed=0)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            H3Hash(0, seed=0)
+
+    def test_large_keys_supported(self):
+        h = H3Hash(1024, seed=5)
+        big = (37 << 44) | 12345
+        assert 0 <= h(big) < 1024
+        # Same key hashes identically regardless of evaluation path.
+        assert h(big) == h(big)
+
+    def test_low_and_high_key_halves_both_matter(self):
+        h = H3Hash(4096, seed=9)
+        low_only = {h(x) for x in range(64)}
+        high_only = {h(x << 40) for x in range(64)}
+        assert len(low_only) > 1
+        assert len(high_only) > 1
+
+    def test_distribution_roughly_uniform(self):
+        buckets = 64
+        h = H3Hash(buckets, seed=11)
+        counts = [0] * buckets
+        n = 64 * 500
+        for x in range(n):
+            counts[h(x)] += 1
+        expected = n / buckets
+        # Loose 3-sigma-ish band; H3 on sequential keys is very even.
+        assert all(0.5 * expected < c < 1.5 * expected for c in counts)
+
+    def test_linearity_over_gf2(self):
+        """H3 is GF(2)-linear: h(a ^ b) == h(a) ^ h(b) ^ h(0)."""
+        h = H3Hash(256, seed=13)
+        zero = h(0)
+        for a, b in [(3, 12), (100, 255), (77, 200), (1 << 35, 9)]:
+            assert h(a ^ b) == h(a) ^ h(b) ^ zero
+
+    @given(st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=200)
+    def test_always_in_range(self, key):
+        h = H3Hash(512, seed=17)
+        assert 0 <= h(key) < 512
+
+
+class TestH3Family:
+    def test_member_count(self):
+        fam = H3Family(4, 256, seed=0)
+        assert len(fam) == 4
+        assert len(fam.positions(42)) == 4
+
+    def test_members_are_independent_functions(self):
+        fam = H3Family(4, 1024, seed=0)
+        # At least one key must disagree between any two ways.
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert any(fam[i](x) != fam[j](x) for x in range(200))
+
+    def test_deterministic(self):
+        a = H3Family(3, 128, seed=5)
+        b = H3Family(3, 128, seed=5)
+        for x in range(500):
+            assert a.positions(x) == b.positions(x)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ValueError):
+            H3Family(0, 128)

@@ -1,0 +1,42 @@
+"""Tests for the memoised position caches that make zcache walks
+affordable: the caches must never return stale or wrong positions."""
+
+from repro.arrays import SetAssociativeArray, SkewAssociativeArray, ZCacheArray
+from repro.arrays.hashing import H3Family
+
+
+class TestSkewPositionCache:
+    def test_cache_agrees_with_direct_hashing(self):
+        array = SkewAssociativeArray(256, 4, seed=5)
+        fam = H3Family(4, 64, seed=5)
+        for addr in range(500):
+            cached = array.positions(addr)
+            direct = tuple(w * 64 + fam[w](addr) for w in range(4))
+            assert cached == direct
+            # Second call returns the memoised tuple unchanged.
+            assert array.positions(addr) == cached
+
+    def test_positions_stable_across_installs(self):
+        array = ZCacheArray(256, 4, candidates_per_miss=16, seed=6)
+        before = {a: array.positions(a) for a in range(100)}
+        for a in range(100):
+            cands = array.candidates(a)
+            empty = next((c for c in cands if c.addr is None), None)
+            array.install(a, empty if empty is not None else cands[0])
+        for a, positions in before.items():
+            assert array.positions(a) == positions
+
+
+class TestSetAssocIndexCache:
+    def test_hashed_index_memoised_consistently(self):
+        array = SetAssociativeArray(1024, 16, hashed=True, seed=7)
+        first = [array.set_index(a) for a in range(300)]
+        second = [array.set_index(a) for a in range(300)]
+        assert first == second
+
+    def test_positions_lie_in_the_indexed_set(self):
+        array = SetAssociativeArray(1024, 16, hashed=True, seed=8)
+        for addr in range(200):
+            set_index = array.set_index(addr)
+            for slot in array.positions(addr):
+                assert slot // 16 == set_index

@@ -1,0 +1,99 @@
+"""Property-based invariants over every array organisation.
+
+Whatever sequence of installs/evictions/invalidations happens, an
+array must never lose or duplicate a line, and each line must remain
+findable at a slot the geometry allows.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import (
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+
+
+def make_arrays(seed):
+    return [
+        SetAssociativeArray(64, 4, hashed=True, seed=seed),
+        SkewAssociativeArray(64, 4, seed=seed),
+        ZCacheArray(64, 4, candidates_per_miss=16, seed=seed),
+        RandomCandidatesArray(64, candidates_per_miss=8, seed=seed),
+    ]
+
+
+def check_invariants(array, expected_resident):
+    # 1. Occupancy matches the model.
+    assert array.occupancy() == len(expected_resident)
+    # 2. Every resident line is findable, at a legal position.
+    for addr in expected_resident:
+        slot = array.lookup(addr)
+        assert slot is not None
+        assert array.addr_at(slot) == addr
+        positions = array.positions(addr)
+        if positions:  # random-candidates arrays have no geometry
+            assert slot in positions or isinstance(array, RandomCandidatesArray)
+    # 3. The tag store agrees with the index.
+    seen = {}
+    for slot, addr in array.contents():
+        assert addr not in seen, "duplicate line"
+        seen[addr] = slot
+    assert set(seen) == expected_resident
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    ops=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=120),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_operation_sequences_preserve_invariants(seed, ops):
+    rng = random.Random(seed)
+    for array in make_arrays(seed & 0xFF):
+        resident = set()
+        for op_addr in ops:
+            action = rng.random()
+            if action < 0.15 and resident:
+                victim_addr = rng.choice(sorted(resident))
+                array.invalidate(victim_addr)
+                resident.discard(victim_addr)
+            else:
+                addr = op_addr
+                if addr in resident:
+                    continue  # a real cache would hit; nothing to install
+                cands = array.candidates(addr)
+                empty = next((c for c in cands if c.addr is None), None)
+                victim = empty if empty is not None else rng.choice(cands)
+                if victim.addr is not None:
+                    resident.discard(victim.addr)
+                array.install(addr, victim)
+                resident.add(addr)
+        check_invariants(array, resident)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_zcache_deep_eviction_never_loses_lines(seed):
+    array = ZCacheArray(64, 4, candidates_per_miss=16, seed=seed & 0x7)
+    rng = random.Random(seed)
+    resident = set()
+    for step in range(300):
+        addr = rng.randrange(1000)
+        if addr in resident:
+            continue
+        cands = array.candidates(addr)
+        empty = next((c for c in cands if c.addr is None), None)
+        if empty is not None:
+            victim = empty
+        else:
+            # Bias toward deep candidates to exercise relocation.
+            victim = max(cands, key=lambda c: len(c.path))
+        if victim.addr is not None:
+            resident.discard(victim.addr)
+        array.install(addr, victim)
+        resident.add(addr)
+    check_invariants(array, resident)

@@ -1,0 +1,71 @@
+"""Tests for the idealised random-candidates array."""
+
+import random
+
+import pytest
+
+from repro.arrays import RandomCandidatesArray
+
+
+class TestFillPhase:
+    def test_fills_before_replacing(self):
+        array = RandomCandidatesArray(64, candidates_per_miss=8, seed=0)
+        for addr in range(64):
+            cands = array.candidates(addr)
+            assert len(cands) == 1 and cands[0].addr is None
+            array.install(addr, cands[0])
+        assert array.occupancy() == 64
+
+    def test_full_array_offers_r_occupied_candidates(self):
+        array = RandomCandidatesArray(64, candidates_per_miss=8, seed=0)
+        for addr in range(64):
+            array.install(addr, array.candidates(addr)[0])
+        cands = array.candidates(1000)
+        assert len(cands) == 8
+        assert all(c.addr is not None for c in cands)
+        assert len({c.slot for c in cands}) == 8
+
+    def test_invalidate_returns_slot_to_free_pool(self):
+        array = RandomCandidatesArray(16, candidates_per_miss=4, seed=0)
+        for addr in range(16):
+            array.install(addr, array.candidates(addr)[0])
+        array.invalidate(3)
+        cands = array.candidates(100)
+        assert cands[0].addr is None
+        array.install(100, cands[0])
+        assert array.occupancy() == 16
+
+
+class TestValidation:
+    def test_r_must_fit(self):
+        with pytest.raises(ValueError):
+            RandomCandidatesArray(4, candidates_per_miss=5)
+
+    def test_r_positive(self):
+        with pytest.raises(ValueError):
+            RandomCandidatesArray(4, candidates_per_miss=0)
+
+
+class TestUniformity:
+    def test_candidates_cover_all_slots_uniformly(self):
+        """Over many draws, each slot should be offered ~equally often."""
+        array = RandomCandidatesArray(32, candidates_per_miss=4, seed=1)
+        for addr in range(32):
+            array.install(addr, array.candidates(addr)[0])
+        counts = [0] * 32
+        draws = 4000
+        for i in range(draws):
+            for c in array.candidates(10_000 + i):
+                counts[c.slot] += 1
+        expected = draws * 4 / 32
+        assert all(0.7 * expected < c < 1.3 * expected for c in counts)
+
+    def test_deterministic_by_seed(self):
+        def draw(seed):
+            array = RandomCandidatesArray(32, 4, seed=seed)
+            for addr in range(32):
+                array.install(addr, array.candidates(addr)[0])
+            return [tuple(c.slot for c in array.candidates(100 + i)) for i in range(10)]
+
+        assert draw(7) == draw(7)
+        assert draw(7) != draw(8)

@@ -1,0 +1,109 @@
+"""Tests for the set-associative array."""
+
+import pytest
+
+from repro.arrays import SetAssociativeArray
+
+
+def fill_set(array, set_index, count):
+    """Place `count` addresses mapping to `set_index`; returns them."""
+    placed = []
+    addr = 0
+    while len(placed) < count:
+        if array.set_index(addr) == set_index and addr not in array:
+            cand = next(c for c in array.candidates(addr) if c.addr is None)
+            array.install(addr, cand)
+            placed.append(addr)
+        addr += 1
+    return placed
+
+
+class TestGeometry:
+    def test_slot_layout(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        assert array.num_sets == 16
+        assert array.positions(5) == (20, 21, 22, 23)
+
+    def test_unhashed_index_is_low_bits(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        assert array.set_index(5) == 5
+        assert array.set_index(21) == 5
+
+    def test_hashed_index_differs_from_modulo(self):
+        array = SetAssociativeArray(4096, 16, hashed=True, seed=1)
+        assert any(array.set_index(a) != a % array.num_sets for a in range(200))
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            SetAssociativeArray(48, 4, hashed=False)
+
+    def test_candidates_cover_whole_set(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        cands = array.candidates(3)
+        assert [c.slot for c in cands] == [12, 13, 14, 15]
+        assert [c.way for c in cands] == [0, 1, 2, 3]
+        assert all(c.addr is None for c in cands)
+
+    def test_candidates_per_miss_equals_ways(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        assert array.candidates_per_miss == 4
+
+
+class TestInstallLookup:
+    def test_install_then_lookup(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        cand = array.candidates(7)[0]
+        array.install(7, cand)
+        assert array.lookup(7) == cand.slot
+        assert 7 in array
+        assert array.occupancy() == 1
+
+    def test_conflicting_addresses_share_set(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        addrs = fill_set(array, 2, 4)
+        assert len(addrs) == 4
+        # Set 2 is now full: all candidates are occupied.
+        more = [a for a in range(200) if array.set_index(a) == 2 and a not in array]
+        cands = array.candidates(more[0])
+        assert all(c.addr is not None for c in cands)
+
+    def test_eviction_replaces_victim(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        addrs = fill_set(array, 2, 4)
+        newcomer = next(
+            a for a in range(200) if array.set_index(a) == 2 and a not in array
+        )
+        victim = array.candidates(newcomer)[1]
+        moves = array.install(newcomer, victim)
+        assert moves == []
+        assert array.lookup(newcomer) == victim.slot
+        assert victim.addr not in array
+        assert array.occupancy() == 4
+
+    def test_duplicate_install_rejected(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        array.install(7, array.candidates(7)[0])
+        with pytest.raises(ValueError):
+            array.install(7, array.candidates(7)[1])
+
+    def test_invalidate(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        cand = array.candidates(9)[2]
+        array.install(9, cand)
+        assert array.invalidate(9) == cand.slot
+        assert 9 not in array
+        assert array.invalidate(9) is None
+
+    def test_set_slots_helper(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        assert list(array.set_slots(3)) == [12, 13, 14, 15]
+
+    def test_contents_iterates_valid_lines(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        for a in (1, 2, 3):
+            array.install(a, next(c for c in array.candidates(a) if c.addr is None))
+        assert dict((addr, slot) for slot, addr in array.contents()) == {
+            1: array.lookup(1),
+            2: array.lookup(2),
+            3: array.lookup(3),
+        }

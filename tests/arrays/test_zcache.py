@@ -1,0 +1,132 @@
+"""Tests for the zcache array: walk shape, relocation, invariants."""
+
+import random
+
+import pytest
+
+from repro.arrays import SkewAssociativeArray, ZCacheArray
+
+
+def fill(array, rng, count):
+    """Warm the array with `count` distinct random addresses."""
+    inserted = []
+    addr = 0
+    while len(inserted) < count:
+        addr += rng.randrange(1, 5)
+        if addr in array:
+            continue
+        cands = array.candidates(addr)
+        empty = next((c for c in cands if c.addr is None), None)
+        victim = empty if empty is not None else cands[0]
+        if victim.addr is not None:
+            inserted = [a for a in inserted if a != victim.addr]
+        array.install(addr, victim)
+        inserted.append(addr)
+    return inserted
+
+
+class TestWalk:
+    def test_z4_52_yields_52_candidates_when_full(self):
+        array = ZCacheArray(1024, num_ways=4, candidates_per_miss=52, seed=1)
+        rng = random.Random(0)
+        fill(array, rng, 1024)
+        cands = array.candidates(999_999)
+        assert len(cands) == 52
+        assert all(c.addr is not None for c in cands)
+
+    def test_first_level_is_direct_positions(self):
+        array = ZCacheArray(1024, num_ways=4, candidates_per_miss=16, seed=1)
+        cands = array.candidates(42)
+        first = [c.slot for c in cands[:4]]
+        assert set(first) <= set(array.positions(42))
+
+    def test_candidates_unique_slots(self):
+        array = ZCacheArray(512, num_ways=4, candidates_per_miss=52, seed=2)
+        rng = random.Random(1)
+        fill(array, rng, 512)
+        for probe in (10_001, 10_002, 10_003):
+            slots = [c.slot for c in array.candidates(probe)]
+            assert len(slots) == len(set(slots))
+
+    def test_paths_are_valid_relocation_chains(self):
+        """Every path step must be a legal position for the line above it."""
+        array = ZCacheArray(512, num_ways=4, candidates_per_miss=52, seed=3)
+        rng = random.Random(2)
+        fill(array, rng, 512)
+        cands = array.candidates(77_777)
+        for cand in cands:
+            path = cand.path
+            assert path[-1] == cand.slot
+            for i in range(1, len(path)):
+                mover = array.addr_at(path[i - 1])
+                assert path[i] in array.positions(mover)
+
+    def test_empty_slots_reported_during_warmup(self):
+        array = ZCacheArray(256, num_ways=4, candidates_per_miss=16, seed=4)
+        cands = array.candidates(5)
+        assert any(c.addr is None for c in cands)
+
+    def test_r_below_ways_rejected(self):
+        with pytest.raises(ValueError):
+            ZCacheArray(256, num_ways=4, candidates_per_miss=3)
+
+    def test_walk_levels_match_paper_geometry(self):
+        """Z4/52 walks 4 first-level, then up to 12 second- and 36
+        third-level candidates (fewer only on slot collisions, which
+        deeper levels absorb)."""
+        array = ZCacheArray(4096, num_ways=4, candidates_per_miss=52, seed=5)
+        rng = random.Random(3)
+        fill(array, rng, 4096)
+        for probe in (123_456, 234_567, 345_678):
+            cands = array.candidates(probe)
+            depths = [len(c.path) for c in cands]
+            assert len(depths) == 52
+            assert depths.count(1) == 4
+            assert 8 <= depths.count(2) <= 12
+            assert depths == sorted(depths), "walk must be breadth-first"
+
+
+class TestRelocation:
+    def test_install_relocates_and_preserves_other_lines(self):
+        array = ZCacheArray(256, num_ways=4, candidates_per_miss=52, seed=6)
+        rng = random.Random(4)
+        resident = set(fill(array, rng, 256))
+        newcomer = 888_888
+        cands = array.candidates(newcomer)
+        deep = next(c for c in cands if len(c.path) >= 2)
+        moves = array.install(newcomer, deep)
+        assert len(moves) == len(deep.path) - 1
+        resident.discard(deep.addr)
+        for addr in resident:
+            slot = array.lookup(addr)
+            assert slot is not None
+            # Relocated lines must still sit in one of their legal positions.
+            assert slot in array.positions(addr)
+        assert array.lookup(newcomer) == deep.path[0]
+
+    def test_moves_are_reported_in_execution_order(self):
+        array = ZCacheArray(256, num_ways=4, candidates_per_miss=52, seed=7)
+        rng = random.Random(5)
+        fill(array, rng, 256)
+        cands = array.candidates(777_777)
+        deep = next(c for c in cands if len(c.path) == 3)
+        moves = array.install(777_777, deep)
+        assert moves == [
+            (deep.path[1], deep.path[2]),
+            (deep.path[0], deep.path[1]),
+        ]
+
+
+class TestSkewBase:
+    def test_skew_is_one_candidate_per_way(self):
+        array = SkewAssociativeArray(256, 4, seed=8)
+        cands = array.candidates(9)
+        assert len(cands) == 4
+        assert array.candidates_per_miss == 4
+
+    def test_way_banks_disjoint(self):
+        array = SkewAssociativeArray(256, 4, seed=9)
+        for addr in range(100):
+            for way, slot in enumerate(array.positions(addr)):
+                assert way * 64 <= slot < (way + 1) * 64
+                assert array.way_of_slot(slot) == way

@@ -1,0 +1,60 @@
+"""Tests for the idealised (exact-aperture) Vantage controller."""
+
+import random
+
+from repro.arrays import RandomCandidatesArray, ZCacheArray
+from repro.core import AnalyticalVantageCache, VantageCache, VantageConfig
+
+
+def drive(cache, rng, accesses, working_sets):
+    for _ in range(accesses):
+        p = rng.randrange(len(working_sets))
+        cache.access((p << 32) | rng.randrange(working_sets[p]), p)
+
+
+class TestAnalyticalController:
+    def test_sizes_converge(self):
+        array = ZCacheArray(2048, 4, candidates_per_miss=52, seed=0)
+        cache = AnalyticalVantageCache(array, 2, VantageConfig(unmanaged_fraction=0.1))
+        cache.set_allocations([700, 1143])
+        rng = random.Random(0)
+        drive(cache, rng, 50_000, [4000, 4000])
+        assert abs(cache.actual_size[0] - 700) < 120
+        assert abs(cache.actual_size[1] - 1143) < 200
+
+    def test_histograms_stay_consistent(self):
+        array = ZCacheArray(1024, 4, candidates_per_miss=16, seed=1)
+        cache = AnalyticalVantageCache(array, 3, VantageConfig(unmanaged_fraction=0.15))
+        rng = random.Random(1)
+        drive(cache, rng, 30_000, [2000, 1000, 3000])
+        for p in range(3):
+            assert sum(cache._hist[p]) == cache.actual_size[p]
+            assert all(count >= 0 for count in cache._hist[p])
+
+    def test_matches_practical_controller(self):
+        """Section 6.2: the practical setpoint controller performs the
+        same as perfect apertures.  Check sizes and miss rates agree."""
+        results = []
+        for cls in (VantageCache, AnalyticalVantageCache):
+            array = ZCacheArray(2048, 4, candidates_per_miss=52, seed=2)
+            cache = cls(array, 2, VantageConfig(unmanaged_fraction=0.1))
+            cache.set_allocations([800, 1043])
+            rng = random.Random(2)
+            drive(cache, rng, 60_000, [3000, 5000])
+            results.append(
+                (list(cache.actual_size), [cache.stats.miss_rate(p) for p in range(2)])
+            )
+        (sizes_a, mr_a), (sizes_b, mr_b) = results
+        for p in range(2):
+            assert abs(sizes_a[p] - sizes_b[p]) < 0.12 * max(sizes_a[p], 1)
+            assert abs(mr_a[p] - mr_b[p]) < 0.05
+
+    def test_runs_on_random_candidates_array(self):
+        """The second 'unrealistic configuration' of Section 6.2."""
+        array = RandomCandidatesArray(1024, candidates_per_miss=52, seed=3)
+        cache = VantageCache(array, 2, VantageConfig(unmanaged_fraction=0.1))
+        cache.set_allocations([400, 521])
+        rng = random.Random(3)
+        drive(cache, rng, 40_000, [2000, 2000])
+        assert abs(cache.actual_size[0] - 400) < 90
+        assert abs(cache.actual_size[1] - 521) < 110

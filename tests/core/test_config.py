@@ -1,0 +1,53 @@
+"""Tests for VantageConfig and its isolation-driven sizing."""
+
+import pytest
+
+from repro.core import VantageConfig
+
+
+class TestValidation:
+    def test_defaults_are_the_papers(self):
+        cfg = VantageConfig()
+        assert cfg.unmanaged_fraction == 0.05
+        assert cfg.a_max == 0.5
+        assert cfg.slack == 0.1
+        assert cfg.threshold_entries == 8
+        assert cfg.candidates_per_adjust == 256
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"unmanaged_fraction": 0.0},
+            {"unmanaged_fraction": 1.0},
+            {"a_max": 0.0},
+            {"a_max": 1.5},
+            {"slack": 0.0},
+            {"threshold_entries": 1},
+            {"candidates_per_adjust": 4},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            VantageConfig(**kwargs)
+
+
+class TestSizing:
+    def test_for_isolation_matches_formula(self):
+        """Section 4.3: R=52, A_max=0.4, Pev=1e-2 needs ~13% unmanaged."""
+        cfg = VantageConfig.for_isolation(52, target_pev=1e-2, a_max=0.4)
+        assert cfg.unmanaged_fraction == pytest.approx(0.1377, abs=0.005)
+
+    def test_stronger_isolation_needs_more_space(self):
+        weak = VantageConfig.for_isolation(52, target_pev=1e-2, a_max=0.4)
+        strong = VantageConfig.for_isolation(52, target_pev=1e-4, a_max=0.4)
+        assert strong.unmanaged_fraction > weak.unmanaged_fraction
+        assert strong.unmanaged_fraction == pytest.approx(0.215, abs=0.01)
+
+    def test_managed_lines(self):
+        cfg = VantageConfig(unmanaged_fraction=0.25)
+        assert cfg.managed_lines(1024) == 768
+
+    def test_more_candidates_need_less_unmanaged(self):
+        r16 = VantageConfig.for_isolation(16, target_pev=1e-2)
+        r52 = VantageConfig.for_isolation(52, target_pev=1e-2)
+        assert r52.unmanaged_fraction < r16.unmanaged_fraction

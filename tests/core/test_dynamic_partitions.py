@@ -1,0 +1,54 @@
+"""Tests for dynamic partition management (Section 3.4: partitions
+are cheap to create, delete and resize)."""
+
+import random
+
+from repro.arrays import ZCacheArray
+from repro.core import VantageCache, VantageConfig
+
+
+def make_cache(seed=0):
+    array = ZCacheArray(2048, 4, candidates_per_miss=52, seed=seed)
+    return VantageCache(array, 3, VantageConfig(unmanaged_fraction=0.1))
+
+
+def drive(cache, rng, accesses, parts, ws=3000):
+    for _ in range(accesses):
+        p = rng.choice(parts)
+        cache.access((p << 32) | rng.randrange(ws), p)
+
+
+class TestDynamicPartitions:
+    def test_resize_partition_only_touches_one_target(self):
+        cache = make_cache()
+        cache.set_allocations([600, 600, 643])
+        cache.resize_partition(1, 200)
+        assert cache.target == [600, 200, 643]
+
+    def test_delete_then_reuse_identifier(self):
+        cache = make_cache()
+        cache.set_allocations([600, 600, 643])
+        rng = random.Random(0)
+        drive(cache, rng, 30_000, [0, 1, 2])
+        assert cache.actual_size[1] > 400
+
+        cache.delete_partition(1)
+        assert cache.target[1] == 0
+        drive(cache, rng, 30_000, [0, 2])
+        assert cache.partition_is_drained(1, residual_lines=80)
+
+        # Reuse the ID for a "new" partition.
+        cache.resize_partition(1, 400)
+        drive(cache, rng, 30_000, [0, 1, 2])
+        assert cache.actual_size[1] > 300
+
+    def test_deleted_partition_space_goes_to_others(self):
+        cache = make_cache()
+        cache.set_allocations([900, 900, 43])
+        rng = random.Random(1)
+        drive(cache, rng, 30_000, [0, 1, 2])
+        before = cache.actual_size[0]
+        cache.delete_partition(1)
+        cache.resize_partition(0, 1500)
+        drive(cache, rng, 40_000, [0, 2])
+        assert cache.actual_size[0] > before

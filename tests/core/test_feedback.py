@@ -1,0 +1,53 @@
+"""Tests for the demotion-thresholds table (Fig 3c)."""
+
+import pytest
+
+from repro.core import build_threshold_table, lookup_threshold
+
+
+class TestBuildTable:
+    def test_matches_fig3c_example_exactly(self):
+        """Paper example: target 1000, 10% slack, 4 entries, c=256,
+        A_max=0.5 -> bounds 1000/1034/1067/1101, thresholds
+        32/64/96/128."""
+        table = build_threshold_table(
+            1000, a_max=0.5, slack=0.1, entries=4, candidates_per_adjust=256
+        )
+        assert table == [(1000, 32), (1034, 64), (1067, 96), (1101, 128)]
+
+    def test_last_entry_demands_full_aperture(self):
+        table = build_threshold_table(2000, a_max=0.4, slack=0.1, entries=8)
+        assert table[-1][1] == round(256 * 0.4)
+        assert table[-1][0] == int(2000 * 1.1) + 1
+
+    def test_thresholds_monotone(self):
+        table = build_threshold_table(5000, a_max=0.5, slack=0.2, entries=8)
+        bounds = [b for b, _ in table]
+        dems = [d for _, d in table]
+        assert bounds == sorted(bounds)
+        assert dems == sorted(dems)
+
+    def test_zero_target_single_full_row(self):
+        table = build_threshold_table(0, a_max=0.5, slack=0.1)
+        assert table == [(1, 128)]
+
+
+class TestLookup:
+    @pytest.fixture
+    def table(self):
+        return build_threshold_table(
+            1000, a_max=0.5, slack=0.1, entries=4, candidates_per_adjust=256
+        )
+
+    def test_below_target_is_zero(self, table):
+        assert lookup_threshold(table, 999) == 0
+
+    def test_fig3c_ranges(self, table):
+        assert lookup_threshold(table, 1000) == 32
+        assert lookup_threshold(table, 1033) == 32
+        assert lookup_threshold(table, 1034) == 64
+        assert lookup_threshold(table, 1066) == 64
+        assert lookup_threshold(table, 1067) == 96
+        assert lookup_threshold(table, 1100) == 96
+        assert lookup_threshold(table, 1101) == 128
+        assert lookup_threshold(table, 50_000) == 128

@@ -1,0 +1,85 @@
+"""Flow-conservation tests on the Vantage controller.
+
+Fig 2a's flow diagram: fills enter the managed region, demotions move
+lines managed -> unmanaged, promotions move them back, evictions leave
+from the unmanaged region (plus rare forced managed evictions).  Every
+line in the cache must be accounted for by exactly these flows.
+"""
+
+import random
+
+import pytest
+
+from repro.arrays import ZCacheArray
+from repro.core import UNMANAGED, VantageCache, VantageConfig
+
+
+@pytest.fixture
+def warmed_cache():
+    array = ZCacheArray(2048, 4, candidates_per_miss=52, seed=3)
+    cache = VantageCache(array, 3, VantageConfig(unmanaged_fraction=0.15))
+    cache.set_allocations([500, 600, 641])
+    rng = random.Random(7)
+    for _ in range(60_000):
+        p = rng.randrange(3)
+        cache.access((p << 32) | rng.randrange(3000), p)
+    return cache, rng
+
+
+class TestFlowConservation:
+    def test_region_population_balances_flows(self, warmed_cache):
+        """unmanaged occupancy == demotions - promotions - unmanaged
+        evictions (demoted-then-evicted-this-miss lines count as
+        managed evictions, so they never enter the unmanaged pool
+        permanently -- the identity holds on the running totals)."""
+        cache, _ = warmed_cache
+        inflow = sum(cache.demotions)
+        outflow = sum(cache.promotions) + cache.evictions_unmanaged
+        # Forced managed evictions may consume just-demoted lines;
+        # each such line was counted as a demotion.
+        slack = cache.evictions_managed
+        assert 0 <= inflow - outflow - cache.unmanaged_size <= slack
+
+    def test_managed_population_balances_flows(self, warmed_cache):
+        cache, _ = warmed_cache
+        st = cache.stats
+        for p in range(3):
+            inflow = st.misses[p] + cache.promotions[p]
+            outflow = cache.demotions[p] + st.evictions[p]
+            assert inflow - outflow == cache.actual_size[p]
+
+    def test_total_occupancy_is_cache_capacity(self, warmed_cache):
+        cache, _ = warmed_cache
+        managed, unmanaged = cache.region_occupancy()
+        assert managed + unmanaged == cache.array.occupancy() == 2048
+
+    def test_eviction_preference_order(self, warmed_cache):
+        """In steady state, nearly all evictions leave from the
+        unmanaged region (Fig 2a's main outflow)."""
+        cache, _ = warmed_cache
+        total = cache.evictions_managed + cache.evictions_unmanaged
+        assert cache.evictions_unmanaged > 0.9 * total
+
+
+class TestLongRunStability:
+    def test_timestamp_wraparound_does_not_break_sizes(self, warmed_cache):
+        """8-bit timestamps wrap hundreds of times over a long run;
+        the modulo arithmetic must keep demotions and sizes sane."""
+        cache, rng = warmed_cache
+        for _ in range(60_000):
+            p = rng.randrange(3)
+            cache.access((p << 32) | rng.randrange(3000), p)
+        for p, target in enumerate(cache.target):
+            assert cache.actual_size[p] <= target * 1.3 + 16
+        assert 0 <= cache.unmanaged_size <= 2048
+        # Line timestamps remain 8-bit.
+        assert all(0 <= ts < 256 for ts in cache.line_ts)
+
+    def test_unmanaged_census_matches_register(self, warmed_cache):
+        cache, _ = warmed_cache
+        census = sum(
+            1
+            for slot, _ in cache.array.contents()
+            if cache.part_of[slot] == UNMANAGED
+        )
+        assert census == cache.unmanaged_size

@@ -1,0 +1,92 @@
+"""Tests for Vantage-DRRIP (Section 6.2)."""
+
+import random
+
+from repro.arrays import ZCacheArray
+from repro.core import VantageConfig, VantageDRRIPCache
+from repro.replacement.rrip import RRPV_MAX
+
+
+def make_cache(num_lines=2048, parts=2, u=0.1, seed=0):
+    array = ZCacheArray(num_lines, 4, candidates_per_miss=52, seed=seed)
+    return VantageDRRIPCache(array, parts, VantageConfig(unmanaged_fraction=u), seed=seed)
+
+
+def drive(cache, rng, accesses, working_sets):
+    for _ in range(accesses):
+        p = rng.randrange(len(working_sets))
+        cache.access((p << 32) | rng.randrange(working_sets[p]), p)
+
+
+class TestSizeControl:
+    def test_sizes_converge_like_lru_vantage(self):
+        cache = make_cache()
+        cache.set_allocations([600, 1243])
+        rng = random.Random(0)
+        drive(cache, rng, 60_000, [4000, 4000])
+        assert abs(cache.actual_size[0] - 600) < 130
+        assert abs(cache.actual_size[1] - 1243) < 260
+
+    def test_setpoint_rrpv_within_bounds(self):
+        cache = make_cache()
+        rng = random.Random(1)
+        drive(cache, rng, 40_000, [4000, 4000])
+        for p in range(2):
+            assert 1 <= cache.setpoint_rrpv[p] <= RRPV_MAX + 1
+
+
+class TestRRIPSemantics:
+    def test_hits_reset_rrpv(self):
+        cache = make_cache()
+        cache.access(42, 0)
+        cache.access(42, 0)
+        slot = cache.array.lookup(42)
+        assert cache.rrpv[slot] == 0
+
+    def test_insertions_use_srrip_or_brrip_values(self):
+        cache = make_cache()
+        rng = random.Random(2)
+        for n in range(500):
+            cache.access((0 << 32) | n, 0)
+        values = {
+            cache.rrpv[slot]
+            for slot, _ in cache.array.contents()
+            if cache.part_of[slot] == 0
+        }
+        assert values <= {RRPV_MAX - 1, RRPV_MAX, 0}
+
+    def test_rrpv_moves_with_relocations(self):
+        cache = make_cache(num_lines=512)
+        rng = random.Random(3)
+        drive(cache, rng, 20_000, [1500, 1500])
+        # Any hot (recently hit) line must carry rrpv 0 wherever it sits.
+        probe = (0 << 32) | 7
+        cache.access(probe, 0)  # may miss: installs
+        cache.access(probe, 0)  # definite hit: rrpv reset
+        slot = cache.array.lookup(probe)
+        assert cache.rrpv[slot] == 0
+
+    def test_streaming_partition_lines_demoted_quickly(self):
+        """BRRIP-style insertions at max RRPV make a thrashing
+        partition's lines instantly demotable: its footprint stays
+        pinned at target."""
+        cache = make_cache(parts=2, u=0.1)
+        cache.set_allocations([1200, 643])
+        rng = random.Random(4)
+        for _ in range(60_000):
+            if rng.random() < 0.5:
+                cache.access((0 << 32) | rng.randrange(1100), 0)
+            else:
+                cache.access((1 << 32) | rng.randrange(200_000), 1)
+        assert cache.actual_size[1] <= 643 * 1.3
+        assert cache.actual_size[0] >= 1050
+
+
+class TestDuelling:
+    def test_psel_counters_per_partition(self):
+        cache = make_cache()
+        rng = random.Random(5)
+        drive(cache, rng, 30_000, [4000, 200_000])
+        assert len(cache.psel) == 2
+        # Both duels saw votes (leaders exist in both streams).
+        assert any(p != 512 for p in cache.psel)

@@ -1,0 +1,211 @@
+"""Behavioural tests for the Vantage controller.
+
+These pin the paper's claims at unit scale: sizes converge to targets
+and never undershoot, partitions borrow from the unmanaged region
+instead of each other, forced managed evictions stay below the model's
+worst case, high-churn partitions settle at their minimum stable size,
+and deleted partitions drain.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.sizing import minimum_stable_size, worst_case_pev
+from repro.arrays import SetAssociativeArray, ZCacheArray
+from repro.core import UNMANAGED, VantageCache, VantageConfig
+
+
+def make_cache(num_lines=2048, parts=4, u=0.1, r=52, seed=0, a_max=0.5):
+    array = ZCacheArray(num_lines, 4, candidates_per_miss=r, seed=seed)
+    cfg = VantageConfig(unmanaged_fraction=u, a_max=a_max, slack=0.1)
+    return VantageCache(array, parts, cfg)
+
+
+def drive(cache, rng, accesses, working_sets, parts=None):
+    """Random accesses: partition p draws from `working_sets[p]` lines."""
+    parts = parts if parts is not None else list(range(len(working_sets)))
+    num = len(parts)
+    for _ in range(accesses):
+        i = rng.randrange(num)
+        p = parts[i]
+        cache.access((p << 32) | rng.randrange(working_sets[i]), p)
+
+
+class TestSizeEnforcement:
+    def test_sizes_converge_to_targets(self):
+        cache = make_cache()
+        targets = [200, 400, 600, 643]
+        cache.set_allocations(targets)
+        rng = random.Random(0)
+        drive(cache, rng, 60_000, [4000, 4000, 4000, 4000])
+        for p, target in enumerate(targets):
+            size = cache.actual_size[p]
+            # Within the feedback slack plus a small margin.
+            assert size <= target * 1.25 + 8, f"partition {p} overgrown: {size}"
+            assert size >= target * 0.85 - 8, f"partition {p} starved: {size}"
+
+    def test_never_undershoots_with_demand(self):
+        """A partition with demand never sits below target (Fig 8b:
+        'in Vantage the partition is never under its target')."""
+        cache = make_cache()
+        targets = [300, 500, 500, 543]
+        cache.set_allocations(targets)
+        rng = random.Random(1)
+        drive(cache, rng, 40_000, [4000] * 4)
+        for _ in range(20):
+            drive(cache, rng, 2000, [4000] * 4)
+            for p, target in enumerate(targets):
+                assert cache.actual_size[p] >= target * 0.9
+
+    def test_accounting_matches_tags(self):
+        """ActualSize registers must equal the per-slot tag census."""
+        cache = make_cache(num_lines=1024, parts=3)
+        cache.set_allocations([300, 300, 322])
+        rng = random.Random(2)
+        drive(cache, rng, 30_000, [2000, 1500, 2500])
+        census = [0] * 3
+        unmanaged = 0
+        for slot, _ in cache.array.contents():
+            owner = cache.part_of[slot]
+            if owner == UNMANAGED:
+                unmanaged += 1
+            else:
+                census[owner] += 1
+        assert census == cache.actual_size
+        assert unmanaged == cache.unmanaged_size
+
+    def test_fine_grain_targets(self):
+        """Targets at line granularity are honoured, not rounded to
+        way-sized chunks."""
+        cache = make_cache(num_lines=4096, parts=2, u=0.1)
+        cache.set_allocations([1111, 2575])
+        rng = random.Random(3)
+        drive(cache, rng, 60_000, [8000, 8000])
+        assert abs(cache.actual_size[0] - 1111) < 120
+        assert abs(cache.actual_size[1] - 2575) < 270
+
+
+class TestIsolation:
+    def test_streaming_neighbour_cannot_shrink_partition(self):
+        """Churn-based management: partition 0's working set stays
+        resident no matter how hard partition 1 thrashes."""
+        cache = make_cache(num_lines=2048, parts=2, u=0.1)
+        cache.set_allocations([800, 1043])
+        rng = random.Random(4)
+        # Partition 0 warms a working set smaller than its target.
+        ws0 = [(0 << 32) | a for a in range(700)]
+        for addr in ws0 * 3:
+            cache.access(addr, 0)
+        # Partition 1 streams 30k distinct lines.
+        for n in range(30_000):
+            cache.access((1 << 32) | n, 1)
+        # Touch ws0 again: it must still be essentially all resident.
+        hits = sum(1 for addr in ws0 if cache.array.lookup(addr) is not None)
+        assert hits >= 0.97 * len(ws0)
+
+    def test_borrowing_comes_from_unmanaged_region(self):
+        """Overgrowth beyond targets is bounded by the slack +
+        MSS borrowing model, not taken from other partitions."""
+        cache = make_cache(num_lines=2048, parts=2, u=0.15, a_max=0.4)
+        cache.set_allocations([850, 10])  # partition 1: tiny target, huge churn
+        rng = random.Random(5)
+        for _ in range(40_000):
+            if rng.random() < 0.5:
+                cache.access((0 << 32) | rng.randrange(820), 0)
+            else:
+                cache.access((1 << 32) | rng.randrange(100_000), 1)
+        # Partition 0 keeps its full allocation.
+        assert cache.actual_size[0] >= 820 * 0.97
+        # Partition 1 stabilises near its minimum stable size.
+        total = sum(cache.actual_size) / 2048
+        mss = minimum_stable_size(1.0, total, a_max=0.4, r=52, m=0.85) * 2048
+        assert cache.actual_size[1] <= mss * 1.6 + 32
+
+
+class TestManagedEvictions:
+    def test_fraction_respects_model_bound(self):
+        cache = make_cache(num_lines=4096, parts=4, u=0.15, a_max=0.5)
+        rng = random.Random(6)
+        drive(cache, rng, 80_000, [4000, 3000, 2000, 8000])
+        bound = worst_case_pev(0.15, 52, a_max=0.5, slack=0.1)
+        assert cache.managed_eviction_fraction() <= bound * 1.5 + 0.01
+
+    def test_larger_unmanaged_region_reduces_forced_evictions(self):
+        fractions = []
+        for u in (0.05, 0.25):
+            cache = make_cache(num_lines=4096, parts=4, u=u)
+            rng = random.Random(7)
+            drive(cache, rng, 60_000, [4000, 3000, 2000, 8000])
+            fractions.append(cache.managed_eviction_fraction())
+        assert fractions[1] < fractions[0]
+
+
+class TestDynamics:
+    def test_resize_transfers_capacity(self):
+        cache = make_cache(num_lines=2048, parts=2, u=0.1)
+        cache.set_allocations([1500, 343])
+        rng = random.Random(8)
+        drive(cache, rng, 30_000, [4000, 4000])
+        assert cache.actual_size[0] > 1300
+        cache.set_allocations([343, 1500])
+        drive(cache, rng, 40_000, [4000, 4000])
+        assert cache.actual_size[0] < 550
+        assert cache.actual_size[1] > 1300
+
+    def test_deleting_partition_drains_it(self):
+        cache = make_cache(num_lines=2048, parts=2, u=0.1)
+        cache.set_allocations([900, 943])
+        rng = random.Random(9)
+        drive(cache, rng, 30_000, [4000, 4000])
+        cache.set_allocations([0, 1843])
+        # Only partition 1 accesses from now on.
+        drive(cache, rng, 40_000, [4000, 4000], parts=[1, 1])
+        assert cache.actual_size[0] < 150
+        assert cache.actual_size[1] > 1500
+
+    def test_promotions_rejoin_partition(self):
+        cache = make_cache(num_lines=1024, parts=2, u=0.2)
+        cache.set_allocations([400, 419])
+        rng = random.Random(10)
+        drive(cache, rng, 20_000, [1000, 3000])
+        assert sum(cache.promotions) > 0
+        # Accounting still consistent after promotions.
+        census = [0, 0]
+        for slot, _ in cache.array.contents():
+            owner = cache.part_of[slot]
+            if owner != UNMANAGED:
+                census[owner] += 1
+        assert census == cache.actual_size
+
+
+class TestOtherArrays:
+    def test_works_on_set_associative(self):
+        array = SetAssociativeArray(2048, 16, hashed=True, seed=0)
+        cache = VantageCache(array, 2, VantageConfig(unmanaged_fraction=0.1))
+        cache.set_allocations([600, 1243])
+        rng = random.Random(11)
+        drive(cache, rng, 40_000, [4000, 4000])
+        assert abs(cache.actual_size[0] - 600) < 120
+        assert abs(cache.actual_size[1] - 1243) < 220
+
+    def test_allocation_total_is_managed_region(self):
+        cache = make_cache(num_lines=2048, u=0.25)
+        assert cache.allocation_total == 1536
+
+
+class TestValidation:
+    def test_targets_cannot_exceed_managed_region(self):
+        cache = make_cache(num_lines=1024, parts=2, u=0.1)
+        with pytest.raises(ValueError):
+            cache.set_allocations([800, 800])
+
+    def test_negative_targets_rejected(self):
+        cache = make_cache(parts=2)
+        with pytest.raises(ValueError):
+            cache.set_allocations([-1, 100])
+
+    def test_vector_length_checked(self):
+        cache = make_cache(parts=2)
+        with pytest.raises(ValueError):
+            cache.set_allocations([100])

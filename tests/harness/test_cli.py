@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run-mix"])
+        assert args.scheme == "vantage-z4/52"
+        assert args.system == "small"
+
+
+class TestCommands:
+    def test_list_apps(self, capsys):
+        assert main(["list-apps"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "thrashing/streaming" in out
+
+    def test_size_unmanaged(self, capsys):
+        assert main(["size-unmanaged", "-r", "52", "--pev", "1e-2", "--a-max", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "u = 0.138" in out
+
+    def test_overheads(self, capsys):
+        assert main(["overheads"]) == 0
+        out = capsys.readouterr().out
+        assert "partition-ID tag bits: 6" in out
+
+    def test_classify_unknown_app(self, capsys):
+        assert main(["classify", "doom"]) == 1
+
+    def test_classify_known_app(self, capsys):
+        assert main(["classify", "libquantum", "--accesses", "15000"]) == 0
+        out = capsys.readouterr().out
+        assert "classified as" in out
+
+    def test_run_mix_small(self, capsys):
+        code = main(
+            [
+                "run-mix",
+                "--mix-class",
+                "ssnn",
+                "--scheme",
+                "vantage-z4/16",
+                "--instructions",
+                "60000",
+                "--epoch-cycles",
+                "30000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "managed-eviction fraction" in out

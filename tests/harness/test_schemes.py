@@ -1,0 +1,80 @@
+"""Tests for the scheme/array factory."""
+
+import pytest
+
+from repro.arrays import (
+    RandomCandidatesArray,
+    SetAssociativeArray,
+    SkewAssociativeArray,
+    ZCacheArray,
+)
+from repro.core import AnalyticalVantageCache, VantageCache, VantageDRRIPCache
+from repro.harness import build_array, build_cache, default_vantage_config
+from repro.partitioning import BaselineCache, PIPPCache, WayPartitionedCache
+
+
+class TestBuildArray:
+    def test_set_associative(self):
+        array = build_array("sa16", 1024)
+        assert isinstance(array, SetAssociativeArray)
+        assert array.num_ways == 16
+        assert array.hashed
+
+    def test_zcache(self):
+        array = build_array("z4/52", 1024)
+        assert isinstance(array, ZCacheArray)
+        assert array.num_ways == 4
+        assert array.candidates_per_miss == 52
+
+    def test_skew(self):
+        array = build_array("skew4", 1024)
+        assert isinstance(array, SkewAssociativeArray)
+
+    def test_random_candidates(self):
+        array = build_array("rc52", 1024)
+        assert isinstance(array, RandomCandidatesArray)
+        assert array.candidates_per_miss == 52
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_array("tcam8", 1024)
+
+
+class TestBuildCache:
+    @pytest.mark.parametrize(
+        "scheme,cls",
+        [
+            ("lru-sa16", BaselineCache),
+            ("drrip-z4/52", BaselineCache),
+            ("ta-drrip-z4/16", BaselineCache),
+            ("waypart-sa16", WayPartitionedCache),
+            ("pipp-sa16", PIPPCache),
+            ("vantage-z4/52", VantageCache),
+            ("vantage-sa64", VantageCache),
+            ("vantage-drrip-z4/52", VantageDRRIPCache),
+            ("vantage-analytical-z4/52", AnalyticalVantageCache),
+            ("vantage-rc52", VantageCache),
+        ],
+    )
+    def test_known_schemes(self, scheme, cls):
+        cache = build_cache(scheme, 1024, 4)
+        assert type(cache) is cls
+        assert cache.num_partitions == 4
+
+    def test_vantage_drrip_not_plain_vantage(self):
+        cache = build_cache("vantage-drrip-z4/52", 1024, 2)
+        assert isinstance(cache, VantageDRRIPCache)
+
+    def test_default_unmanaged_fractions(self):
+        z52 = build_cache("vantage-z4/52", 1024, 2)
+        z16 = build_cache("vantage-z4/16", 1024, 2)
+        assert z52.config.unmanaged_fraction == pytest.approx(0.05)
+        assert z16.config.unmanaged_fraction == pytest.approx(0.10)
+
+    def test_default_config_matches_array(self):
+        assert default_vantage_config(build_array("sa64", 1024)).unmanaged_fraction == 0.05
+        assert default_vantage_config(build_array("sa16", 1024)).unmanaged_fraction == 0.10
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            build_cache("colouring-sa16", 1024, 2)

@@ -1,0 +1,107 @@
+"""End-to-end integration: full-stack mixes exercising the paper's
+qualitative claims at reduced scale.
+
+These runs use a 512-line L2 (32 KB) with proportionally shrunk
+working sets so each test stays in the hundreds of milliseconds while
+still driving UCP, the schemes and the CMP loop together.
+"""
+
+import pytest
+
+from repro.analysis import SizeTimeSeries
+from repro.harness import run_mix
+from repro.sim import CMPSystem, SystemConfig
+from repro.workloads import AppSpec
+
+
+def tiny_config(**overrides):
+    params = dict(
+        num_cores=4,
+        l2_bytes=512 * 64,
+        l2_banks=1,
+        mem_bandwidth_gbs=32.0,
+        epoch_cycles=30_000,
+    )
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+def tiny_app(name, category, kind, ws, gap, **kw):
+    return AppSpec(name=name, category=category, kind=kind, ws_lines=ws, mean_gap=gap, **kw)
+
+
+class TinyMix:
+    """A hand-built mix with working sets scaled to the tiny L2."""
+
+    def __init__(self, apps):
+        self.name = "tiny"
+        self.apps = tuple(apps)
+        self.num_cores = len(apps)
+
+    def trace_factories(self, seed=0):
+        return [
+            app.trace_factory(base=core << 44, seed=seed * 100 + core)
+            for core, app in enumerate(self.apps)
+        ]
+
+
+@pytest.fixture
+def partition_friendly_mix():
+    """One streamer, one fitting loop, one friendly zipf, one tiny app:
+    the kind of mix partitioning is supposed to win on."""
+    return TinyMix(
+        [
+            tiny_app("stream", "s", "scan", 8192, 10),
+            tiny_app("fit", "t", "loop", 280, 14),
+            tiny_app("friendly", "f", "zipf", 600, 12, alpha=0.9),
+            tiny_app("small", "n", "zipf", 16, 60, alpha=1.1),
+        ]
+    )
+
+
+class TestSchemeComparison:
+    def test_vantage_beats_unpartitioned_lru(self, partition_friendly_mix):
+        config = tiny_config()
+        base = run_mix(partition_friendly_mix, "lru-sa16", config, 150_000, seed=3)
+        vantage = run_mix(partition_friendly_mix, "vantage-z4/52", config, 150_000, seed=3)
+        assert vantage.result.throughput > base.result.throughput * 1.02
+
+    def test_all_schemes_complete_and_report(self, partition_friendly_mix):
+        config = tiny_config()
+        for scheme in ("waypart-sa16", "pipp-sa16", "vantage-drrip-z4/52"):
+            run = run_mix(partition_friendly_mix, scheme, config, 60_000, seed=3)
+            assert run.result.throughput > 0
+            assert len(run.result.l2_miss_rates) == 4
+
+
+class TestVantageDynamicsInSystem:
+    def test_targets_tracked_under_ucp(self, partition_friendly_mix):
+        config = tiny_config()
+        run = run_mix(
+            partition_friendly_mix,
+            "vantage-z4/52",
+            config,
+            200_000,
+            seed=4,
+            size_sample_cycles=30_000,
+        )
+        series = run.size_series
+        # After warmup, actual sizes track targets from above:
+        # undershoot beyond noise would break the paper's guarantee.
+        cache = run.cache
+        for p in range(4):
+            if cache.target[p] > 40:
+                tail_t = series.targets[p][-3:]
+                tail_a = series.actuals[p][-3:]
+                for t, a in zip(tail_t, tail_a):
+                    assert a >= t - max(12, 0.3 * t)
+
+    def test_unmanaged_region_stays_bounded(self, partition_friendly_mix):
+        config = tiny_config()
+        run = run_mix(partition_friendly_mix, "vantage-z4/52", config, 150_000, seed=5)
+        cache = run.cache
+        managed, unmanaged = cache.region_occupancy()
+        assert managed + unmanaged <= 512
+        # Unmanaged region: nominal 5% plus borrowing, still far from
+        # taking over the cache.
+        assert unmanaged < 0.35 * 512

@@ -1,0 +1,123 @@
+"""Tests for the unpartitioned baseline cache."""
+
+import random
+
+import pytest
+
+from repro.arrays import SetAssociativeArray, ZCacheArray
+from repro.partitioning import BaselineCache
+from repro.replacement import CoarseLRUPolicy, PerfectLRUPolicy, make_policy
+
+
+def make_cache(num_lines=64, ways=4, policy="perfect-lru"):
+    array = SetAssociativeArray(num_lines, ways, hashed=False)
+    return BaselineCache(array, make_policy(policy, num_lines))
+
+
+class TestAccessPath:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+        assert cache.stats.hits[0] == 1
+        assert cache.stats.misses[0] == 1
+
+    def test_lru_eviction_order_within_set(self):
+        cache = make_cache(num_lines=16, ways=4)
+        # Addresses 0, 4, 8, 12, 16 all map to set 0 (unhashed).
+        for addr in (0, 4, 8, 12):
+            cache.access(addr)
+        cache.access(0)  # refresh 0; LRU is now 4
+        cache.access(16)  # set is full: evicts 4
+        assert cache.access(0) is True
+        assert cache.access(4) is False
+
+    def test_working_set_within_capacity_all_hits(self):
+        cache = make_cache(num_lines=64, ways=4)
+        for addr in range(64):
+            cache.access(addr)
+        hits = sum(1 for addr in range(64) if cache.access(addr))
+        assert hits == 64
+
+    def test_partition_footprints_tracked(self):
+        cache = BaselineCache(
+            SetAssociativeArray(64, 4, hashed=False),
+            PerfectLRUPolicy(64),
+            num_partitions=2,
+        )
+        for addr in range(10):
+            cache.access(addr, part=0)
+        for addr in range(100, 105):
+            cache.access(addr, part=1)
+        assert cache.partition_size(0) == 10
+        assert cache.partition_size(1) == 5
+
+    def test_eviction_hook_fires_with_owner(self):
+        cache = make_cache(num_lines=16, ways=4)
+        events = []
+        cache.eviction_hook = lambda slot, part: events.append((slot, part))
+        for addr in (0, 4, 8, 12, 16):  # one eviction in set 0
+            cache.access(addr)
+        assert len(events) == 1
+        assert events[0][1] == 0
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        for addr in range(8):
+            cache.access(addr)
+        for addr in range(8):
+            cache.access(addr)
+        assert cache.stats.miss_rate() == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.reset_stats()
+        assert cache.stats.total_accesses == 0
+
+
+class TestOnZCache:
+    def test_fill_and_steady_state(self):
+        array = ZCacheArray(256, 4, candidates_per_miss=16, seed=0)
+        cache = BaselineCache(array, CoarseLRUPolicy(256))
+        rng = random.Random(0)
+        for _ in range(5000):
+            cache.access(rng.randrange(512))
+        assert array.occupancy() == 256
+        # LRU on a zcache with R=16 must retain a hot working set.
+        for addr in range(1000, 1032):
+            cache.access(addr)
+        for _ in range(200):
+            cache.access(1000 + rng.randrange(32))
+        hot_hits = sum(1 for a in range(1000, 1032) if cache.access(a))
+        assert hot_hits >= 30
+
+    def test_policy_metadata_follows_relocations(self):
+        array = ZCacheArray(64, 4, candidates_per_miss=16, seed=1)
+        policy = PerfectLRUPolicy(64)
+        cache = BaselineCache(array, policy)
+        rng = random.Random(1)
+        for _ in range(1000):
+            cache.access(rng.randrange(128))
+        # Age keys of resident lines must be distinct (perfect LRU) --
+        # relocation bugs would duplicate or zero them.
+        keys = [policy.state[slot] for slot, _ in array.contents()]
+        assert len(keys) == len(set(keys))
+
+
+class TestValidation:
+    def test_policy_size_mismatch(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        with pytest.raises(ValueError):
+            BaselineCache(array, PerfectLRUPolicy(32))
+
+    def test_allocations_are_accepted_but_ignored(self):
+        cache = make_cache()
+        cache.set_allocations([64])
+        with pytest.raises(ValueError):
+            cache.set_allocations([1, 2])
+
+    def test_positive_partitions_required(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        with pytest.raises(ValueError):
+            BaselineCache(array, PerfectLRUPolicy(64), num_partitions=0)

@@ -1,0 +1,41 @@
+"""Tests for the Table 1 capability matrix."""
+
+from repro.partitioning import TABLE1_COLUMNS, TABLE1_ROWS, format_table1
+
+
+class TestTable1:
+    def test_five_schemes(self):
+        assert len(TABLE1_ROWS) == 5
+        names = [row.name for row in TABLE1_ROWS]
+        assert names[-1] == "Vantage"
+        assert any("Way-partitioning" in n for n in names)
+        assert any("Page coloring" in n for n in names)
+
+    def test_vantage_row_matches_paper(self):
+        vantage = TABLE1_ROWS[-1]
+        assert vantage.scalable_fine_grain == "Yes"
+        assert vantage.maintains_associativity == "Yes"
+        assert vantage.efficient_resizing == "Yes"
+        assert vantage.strict_sizes_isolation == "Yes"
+        assert vantage.independent_of_replacement == "Yes"
+        assert vantage.hardware_cost == "Low"
+        assert vantage.partitions_whole_cache == "No (most)"
+
+    def test_way_partitioning_loses_associativity(self):
+        waypart = next(r for r in TABLE1_ROWS if "Way-partitioning" in r.name)
+        assert waypart.maintains_associativity == "No"
+        assert waypart.scalable_fine_grain == "No"
+
+    def test_policy_based_schemes_lack_strict_isolation(self):
+        policy_based = next(r for r in TABLE1_ROWS if "policy-based" in r.name)
+        assert policy_based.strict_sizes_isolation == "No"
+        assert policy_based.independent_of_replacement == "No"
+
+    def test_render_contains_all_cells(self):
+        text = format_table1()
+        for column in TABLE1_COLUMNS:
+            assert column in text
+        for row in TABLE1_ROWS:
+            assert row.name in text
+        # Header + separator + 5 scheme rows.
+        assert len(text.splitlines()) == 7

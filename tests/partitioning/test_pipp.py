@@ -1,0 +1,139 @@
+"""Tests for PIPP: insertion positions, probabilistic promotion,
+stream detection, and chain integrity."""
+
+import random
+
+import pytest
+
+from repro.arrays import SetAssociativeArray, SkewAssociativeArray
+from repro.partitioning import PIPPCache
+from repro.partitioning.pipp import STREAM_WAYS, THETA_M
+
+
+def make_cache(num_lines=64, ways=8, parts=2, **kwargs):
+    array = SetAssociativeArray(num_lines, ways, hashed=False)
+    return PIPPCache(array, parts, **kwargs)
+
+
+class TestInsertion:
+    def test_insertion_position_equals_allocated_ways(self):
+        cache = make_cache(ways=8, parts=2)
+        cache.set_allocations([6, 2])
+        assert cache.insertion_position(0) == 6
+        assert cache.insertion_position(1) == 2
+
+    def test_streaming_partition_inserts_near_lru(self):
+        cache = make_cache(ways=8, parts=2)
+        cache.set_allocations([6, 2])
+        cache.streaming[1] = True
+        assert cache.insertion_position(1) == STREAM_WAYS
+
+    def test_small_allocation_evicted_first(self):
+        """Lines of a 1-way partition sit at the LRU end and get
+        evicted before a high-insertion partition's lines."""
+        cache = make_cache(num_lines=32, ways=8, parts=2)
+        cache.set_allocations([7, 1])
+        # Fill set 0 alternating; partition 1's lines insert at pos 1.
+        addrs0 = [(0 << 20) | (a * 4) for a in range(6)]
+        addrs1 = [(1 << 20) | (a * 4) for a in range(6)]
+        for a0, a1 in zip(addrs0, addrs1):
+            cache.access(a0, 0)
+            cache.access(a1, 1)
+        # Set 0 overflowed: the survivors should be mostly partition 0's.
+        assert cache.partition_size(0) > cache.partition_size(1)
+
+
+class TestPromotion:
+    def test_hit_promotes_at_most_one_position(self):
+        cache = make_cache(num_lines=32, ways=8, parts=2, p_prom=1.0)
+        lines = [(0 << 20) | (a * 4) for a in range(4)]
+        for a in lines:
+            cache.access(a, 0)
+        chain = cache._chains[0]
+        target = lines[0]
+        slot = cache.array.lookup(target)
+        pos_before = cache._pos_of[slot]
+        cache.access(target, 0)
+        assert cache._pos_of[slot] == min(pos_before + 1, len(chain) - 1)
+
+    def test_zero_probability_never_promotes(self):
+        cache = make_cache(num_lines=32, ways=8, parts=2, p_prom=0.0)
+        lines = [(0 << 20) | (a * 4) for a in range(4)]
+        for a in lines:
+            cache.access(a, 0)
+        slot = cache.array.lookup(lines[0])
+        pos_before = cache._pos_of[slot]
+        for _ in range(20):
+            cache.access(lines[0], 0)
+        assert cache._pos_of[slot] == pos_before
+
+    def test_promotion_probability_honours_streaming(self):
+        cache = make_cache(parts=2, p_prom=0.75, p_stream=1 / 128)
+        cache.streaming[1] = True
+        assert cache.promotion_probability(0) == 0.75
+        assert cache.promotion_probability(1) == 1 / 128
+
+
+class TestStreamDetection:
+    def test_high_miss_rate_classified_streaming(self):
+        cache = make_cache(num_lines=64, ways=8, parts=2)
+        for n in range(1000):
+            cache.access((1 << 20) | n, 1)  # never reuses: 100% misses
+        for n in range(1000):
+            cache.access((0 << 20) | (n % 8), 0)  # tiny hot set
+        cache.reclassify_streams()
+        assert cache.streaming[1] is True
+        assert cache.streaming[0] is False
+
+    def test_window_resets_each_classification(self):
+        cache = make_cache(parts=2)
+        for n in range(200):
+            cache.access((1 << 20) | n, 1)
+        cache.reclassify_streams()
+        assert cache.streaming[1]
+        # New window: now the app reuses heavily and is declassified.
+        for _ in range(30):
+            for n in range(8):
+                cache.access((1 << 20) | n, 1)
+        cache.reclassify_streams()
+        assert not cache.streaming[1]
+
+    def test_threshold_is_the_papers(self):
+        assert THETA_M == pytest.approx(0.125)
+
+
+class TestChainIntegrity:
+    def test_chains_track_occupied_slots(self):
+        cache = make_cache(num_lines=64, ways=8, parts=2, seed=3)
+        rng = random.Random(0)
+        for _ in range(3000):
+            part = rng.randrange(2)
+            cache.access((part << 20) | rng.randrange(128), part)
+        for set_index, chain in enumerate(cache._chains):
+            slots = set(cache.array.set_slots(set_index))
+            occupied = {s for s in slots if cache.array.addr_at(s) is not None}
+            assert set(chain) == occupied
+            for pos, slot in enumerate(chain):
+                assert cache._pos_of[slot] == pos
+
+    def test_approximate_size_control(self):
+        """PIPP only approximates targets (Fig 8c): sizes move in the
+        right direction but need not match."""
+        cache = make_cache(num_lines=512, ways=8, parts=2, seed=1)
+        cache.set_allocations([6, 2])
+        rng = random.Random(2)
+        for _ in range(20_000):
+            part = rng.randrange(2)
+            cache.access((part << 20) | rng.randrange(1024), part)
+        assert cache.partition_size(0) > cache.partition_size(1)
+
+
+class TestValidation:
+    def test_requires_set_associative(self):
+        with pytest.raises(TypeError):
+            PIPPCache(SkewAssociativeArray(64, 4), 2)
+
+    def test_way_floor(self):
+        cache = make_cache(parts=2)
+        with pytest.raises(ValueError):
+            cache.set_allocations([8, 0])

@@ -1,0 +1,67 @@
+"""Tests for selective cache allocation (CQoS-style)."""
+
+import random
+
+import pytest
+
+from repro.arrays import SetAssociativeArray
+from repro.partitioning import SelectiveAllocationCache
+
+
+def make_cache(num_lines=256, parts=2, seed=0):
+    array = SetAssociativeArray(num_lines, 4, hashed=True, seed=seed)
+    return SelectiveAllocationCache(array, parts, seed=seed)
+
+
+class TestSelectiveAllocation:
+    def test_probability_one_always_inserts(self):
+        cache = make_cache()
+        cache.set_allocations([1024, 1024])
+        for addr in range(50):
+            cache.access(addr, 0)
+        assert cache.bypasses[0] == 0
+        assert cache.partition_size(0) == 50
+
+    def test_probability_zero_never_inserts(self):
+        cache = make_cache()
+        cache.set_allocations([0, 1024])
+        for addr in range(100):
+            cache.access(addr, 0)
+        assert cache.partition_size(0) == 0
+        assert cache.bypasses[0] == 100
+
+    def test_throttling_shrinks_footprint(self):
+        rng = random.Random(0)
+        sizes = {}
+        for prob in (1024, 128):
+            cache = make_cache(num_lines=256, seed=1)
+            cache.set_allocations([prob, 1024])
+            for _ in range(20_000):
+                part = rng.randrange(2)
+                cache.access((part << 30) | rng.randrange(400), part)
+            sizes[prob] = cache.partition_size(0)
+        assert sizes[128] < sizes[1024]
+
+    def test_no_strict_size_guarantee(self):
+        """The Table 1 contrast: even a throttled partition can keep
+        growing -- there is no target size at all."""
+        cache = make_cache(num_lines=256)
+        cache.set_allocations([512, 1024])
+        for addr in range(2000):
+            cache.access(addr, 0)  # only partition 0 runs
+        # With no competition it takes over the cache despite p=0.5.
+        assert cache.partition_size(0) > 200
+
+    def test_bypassed_misses_still_counted(self):
+        cache = make_cache()
+        cache.set_allocations([0, 1024])
+        cache.access(1, 0)
+        cache.access(1, 0)
+        assert cache.stats.misses[0] == 2
+
+    def test_validation(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.set_allocations([2048, 0])
+        with pytest.raises(ValueError):
+            cache.set_allocations([512])

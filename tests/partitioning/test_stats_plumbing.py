@@ -1,0 +1,71 @@
+"""Cross-scheme checks on the shared cache surface: stats accounting,
+footprint tracking and allocation-unit metadata."""
+
+import random
+
+import pytest
+
+from repro.arrays import SetAssociativeArray, ZCacheArray
+from repro.core import VantageCache, VantageConfig
+from repro.partitioning import (
+    BaselineCache,
+    PIPPCache,
+    SelectiveAllocationCache,
+    WayPartitionedCache,
+)
+from repro.replacement import make_policy
+
+
+def all_caches(num_lines=256, parts=2):
+    sa = lambda: SetAssociativeArray(num_lines, 8, hashed=True, seed=0)
+    z = lambda: ZCacheArray(num_lines, 4, candidates_per_miss=16, seed=0)
+    return [
+        BaselineCache(sa(), make_policy("lru", num_lines), parts),
+        WayPartitionedCache(sa(), parts),
+        PIPPCache(sa(), parts),
+        SelectiveAllocationCache(sa(), parts),
+        VantageCache(z(), parts, VantageConfig(unmanaged_fraction=0.15)),
+    ]
+
+
+@pytest.mark.parametrize("cache", all_caches(), ids=lambda c: type(c).__name__)
+class TestSharedSurface:
+    def test_accesses_equal_hits_plus_misses(self, cache):
+        rng = random.Random(0)
+        for _ in range(5000):
+            p = rng.randrange(2)
+            cache.access((p << 30) | rng.randrange(300), p)
+        st = cache.stats
+        for p in range(2):
+            assert st.accesses[p] == st.hits[p] + st.misses[p]
+        assert st.total_accesses == 5000
+
+    def test_footprints_never_exceed_capacity(self, cache):
+        rng = random.Random(1)
+        for _ in range(5000):
+            p = rng.randrange(2)
+            cache.access((p << 30) | rng.randrange(500), p)
+        assert sum(cache.partition_sizes()) <= cache.num_lines
+
+    def test_allocation_metadata_exposed(self, cache):
+        assert cache.allocation_unit in ("lines", "ways", "probability/1024")
+        assert cache.allocation_total > 0
+
+
+class TestFootprintCensus:
+    @pytest.mark.parametrize("cache", all_caches(), ids=lambda c: type(c).__name__)
+    def test_part_of_census_matches_sizes(self, cache):
+        """part_of[] is the ground truth for footprints in every
+        scheme except Vantage, whose unmanaged lines leave their
+        partition (checked separately in tests/core)."""
+        rng = random.Random(2)
+        for _ in range(4000):
+            p = rng.randrange(2)
+            cache.access((p << 30) | rng.randrange(400), p)
+        if isinstance(cache, VantageCache):
+            return
+        census = [0, 0]
+        for slot, _ in cache.array.contents():
+            owner = cache.part_of[slot]
+            census[owner] += 1
+        assert census == cache.partition_sizes()

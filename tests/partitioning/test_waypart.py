@@ -1,0 +1,116 @@
+"""Tests for way-partitioning: strict isolation, coarse sizing, lazy resize."""
+
+import random
+
+import pytest
+
+from repro.arrays import SetAssociativeArray, SkewAssociativeArray
+from repro.partitioning import WayPartitionedCache
+
+
+def make_cache(num_lines=64, ways=4, parts=2):
+    array = SetAssociativeArray(num_lines, ways, hashed=False)
+    return WayPartitionedCache(array, parts)
+
+
+class TestAllocation:
+    def test_initial_even_split(self):
+        cache = make_cache(ways=4, parts=2)
+        assert len(cache.ways_of(0)) == 2
+        assert len(cache.ways_of(1)) == 2
+
+    def test_uneven_partition_count(self):
+        cache = make_cache(num_lines=64, ways=4, parts=3)
+        counts = [len(cache.ways_of(p)) for p in range(3)]
+        assert sorted(counts) == [1, 1, 2]
+
+    def test_set_allocations(self):
+        cache = make_cache(ways=4, parts=2)
+        cache.set_allocations([3, 1])
+        assert len(cache.ways_of(0)) == 3
+        assert len(cache.ways_of(1)) == 1
+
+    def test_allocations_must_sum_to_ways(self):
+        cache = make_cache(ways=4, parts=2)
+        with pytest.raises(ValueError):
+            cache.set_allocations([3, 2])
+
+    def test_every_partition_needs_a_way(self):
+        cache = make_cache(ways=4, parts=2)
+        with pytest.raises(ValueError):
+            cache.set_allocations([4, 0])
+
+    def test_more_partitions_than_ways_rejected(self):
+        array = SetAssociativeArray(64, 4, hashed=False)
+        with pytest.raises(ValueError):
+            WayPartitionedCache(array, 5)
+
+    def test_requires_set_associative_array(self):
+        with pytest.raises(TypeError):
+            WayPartitionedCache(SkewAssociativeArray(64, 4), 2)
+
+
+class TestIsolation:
+    def test_partitions_install_only_in_their_ways(self):
+        cache = make_cache(num_lines=64, ways=4, parts=2)
+        rng = random.Random(0)
+        for _ in range(2000):
+            part = rng.randrange(2)
+            cache.access((part << 20) | rng.randrange(64), part)
+        owner = cache._way_owner
+        for slot, addr in cache.array.contents():
+            way = slot % 4
+            assert owner[way] == cache.part_of[slot]
+
+    def test_streaming_partition_cannot_displace_neighbor(self):
+        """Strict isolation: partition 1's thrashing never evicts
+        partition 0's lines (the scheme's headline guarantee)."""
+        cache = make_cache(num_lines=64, ways=4, parts=2)
+        victim_ws = [(0 << 20) | a for a in range(30)]
+        for addr in victim_ws:
+            cache.access(addr, 0)
+        resident_before = {a for a in victim_ws if cache.array.lookup(a) is not None}
+        for n in range(10_000):
+            cache.access((1 << 20) | n, 1)
+        still_resident = {a for a in resident_before if cache.array.lookup(a) is not None}
+        assert still_resident == resident_before
+
+    def test_partition_capacity_bounded_by_ways(self):
+        cache = make_cache(num_lines=64, ways=4, parts=2)
+        cache.set_allocations([1, 3])
+        for n in range(5000):
+            cache.access((0 << 20) | n % 200, 0)
+        # Partition 0 owns 1 way = 16 lines at most.
+        assert cache.partition_size(0) <= 16
+
+
+class TestLazyResize:
+    def test_reallocated_ways_converge_lazily(self):
+        """After a resize, the new owner's misses evict the old
+        owner's lines way by way (Fig 8a's slow convergence)."""
+        cache = make_cache(num_lines=64, ways=4, parts=2)
+        cache.set_allocations([3, 1])
+        rng = random.Random(1)
+        for _ in range(3000):
+            cache.access((0 << 20) | rng.randrange(100), 0)
+        size_before = cache.partition_size(0)
+        assert size_before > 16
+        cache.set_allocations([1, 3])
+        # Immediately after the resize nothing has moved.
+        assert cache.partition_size(0) == size_before
+        for n in range(5000):
+            cache.access((1 << 20) | n % 200, 1)
+        # Partition 1's misses have reclaimed its new ways.
+        assert cache.partition_size(0) <= 16
+        assert cache.partition_size(1) > 16
+
+    def test_stats_attribute_interference_to_victim(self):
+        cache = make_cache(num_lines=64, ways=4, parts=2)
+        cache.set_allocations([3, 1])
+        for addr in range(48):
+            cache.access((0 << 20) | addr, 0)
+        cache.set_allocations([1, 3])
+        for n in range(1000):
+            cache.access((1 << 20) | n, 1)
+        # Evictions of partition 0's lines are charged to partition 0.
+        assert cache.stats.evictions[0] > 0

@@ -1,0 +1,104 @@
+"""Tests for coarse-timestamp and perfect LRU."""
+
+import pytest
+
+from repro.arrays.base import Candidate
+from repro.replacement import CoarseLRUPolicy, PerfectLRUPolicy, make_policy
+from repro.replacement.lru import TIMESTAMP_MOD
+
+
+def cands(*slots):
+    return [Candidate(s, 1000 + s, (s,), 0) for s in slots]
+
+
+class TestPerfectLRU:
+    def test_evicts_least_recently_used(self):
+        p = PerfectLRUPolicy(8)
+        for slot in (0, 1, 2, 3):
+            p.on_insert(slot, 0, slot)
+        p.on_hit(0, 0, 0)  # 1 is now the oldest
+        victim = p.select_victim(cands(0, 1, 2, 3))
+        assert victim.slot == 1
+
+    def test_recency_order_full_chain(self):
+        p = PerfectLRUPolicy(8)
+        order = [3, 1, 0, 2]
+        for slot in order:
+            p.on_insert(slot, 0, slot)
+        victims = []
+        pool = set(order)
+        while pool:
+            v = p.select_victim(cands(*sorted(pool)))
+            victims.append(v.slot)
+            pool.discard(v.slot)
+        assert victims == order
+
+    def test_move_carries_state(self):
+        p = PerfectLRUPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_insert(1, 0, 1)
+        p.on_move(0, 5)
+        # Slot 5 now holds the oldest line.
+        assert p.select_victim(cands(1, 5)).slot == 5
+
+    def test_age_key_monotone(self):
+        p = PerfectLRUPolicy(4)
+        p.on_insert(0, 0, 0)
+        p.on_insert(1, 0, 1)
+        assert p.age_key(0) > p.age_key(1)
+
+
+class TestCoarseLRU:
+    def test_timestamp_granularity(self):
+        p = CoarseLRUPolicy(32)  # granularity = 2 accesses per tick
+        assert p.current_ts == 0
+        p.on_insert(0, 0, 0)
+        p.on_insert(1, 0, 1)
+        assert p.current_ts == 1
+
+    def test_evicts_oldest_timestamp(self):
+        p = CoarseLRUPolicy(32)
+        p.on_insert(0, 0, 0)
+        for i in range(1, 8):
+            p.on_insert(i, 0, i)
+        assert p.select_victim(cands(0, 6, 7)).slot == 0
+
+    def test_modulo_arithmetic_handles_wraparound(self):
+        p = CoarseLRUPolicy(16)  # granularity 1: every access ticks
+        p.on_insert(0, 0, 0)
+        # Advance near the wrap point.
+        for i in range(TIMESTAMP_MOD - 3):
+            p.on_hit(0, 0, 0)
+        p.on_insert(1, 0, 1)  # stamped just before wrap
+        for _ in range(5):
+            p.on_hit(1, 0, 1)  # stamped after wrap
+        # Slot 0's stamp is much older in modulo distance.
+        assert p.select_victim(cands(0, 1)).slot == 0
+
+    def test_skips_empty_candidates(self):
+        p = CoarseLRUPolicy(8)
+        p.on_insert(1, 0, 1)
+        mixed = [Candidate(0, None, (0,), 0), Candidate(1, 99, (1,), 0)]
+        assert p.select_victim(mixed).slot == 1
+
+    def test_invalidate_resets_state(self):
+        p = CoarseLRUPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_invalidate(0)
+        assert p.state[0] == 0
+
+
+class TestFactory:
+    def test_make_policy_known_names(self):
+        for name in ("lru", "perfect-lru", "srrip", "brrip", "drrip", "ta-drrip", "lfu", "random"):
+            policy = make_policy(name, 16)
+            assert policy.num_lines == 16
+            assert policy.name == name
+
+    def test_make_policy_unknown(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("mru", 16)
+
+    def test_rejects_nonpositive_lines(self):
+        with pytest.raises(ValueError):
+            CoarseLRUPolicy(0)

@@ -1,0 +1,62 @@
+"""Tests for LFU and random replacement."""
+
+from repro.arrays.base import Candidate
+from repro.replacement import LFUPolicy, RandomPolicy
+from repro.replacement.other import LFU_MAX
+
+
+def cands(*slots):
+    return [Candidate(s, 1000 + s, (s,), 0) for s in slots]
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        p = LFUPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_insert(1, 0, 1)
+        for _ in range(5):
+            p.on_hit(0, 0, 0)
+        assert p.select_victim(cands(0, 1)).slot == 1
+
+    def test_counter_saturates(self):
+        p = LFUPolicy(8)
+        p.on_insert(0, 0, 0)
+        for _ in range(LFU_MAX + 50):
+            p.on_hit(0, 0, 0)
+        assert p.state[0] == LFU_MAX
+
+    def test_reinsert_resets_count(self):
+        p = LFUPolicy(8)
+        p.on_insert(0, 0, 0)
+        for _ in range(5):
+            p.on_hit(0, 0, 0)
+        p.on_invalidate(0)
+        p.on_insert(0, 0, 42)
+        assert p.state[0] == 1
+
+    def test_age_key_inverts_frequency(self):
+        p = LFUPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_insert(1, 0, 1)
+        p.on_hit(1, 0, 1)
+        assert p.age_key(0) > p.age_key(1)
+
+
+class TestRandom:
+    def test_only_occupied_candidates_chosen(self):
+        p = RandomPolicy(8, seed=0)
+        mixed = [Candidate(0, None, (0,), 0)] + cands(1, 2)
+        for _ in range(50):
+            assert p.select_victim(mixed).slot in (1, 2)
+
+    def test_spread_over_candidates(self):
+        p = RandomPolicy(8, seed=1)
+        chosen = {p.select_victim(cands(0, 1, 2, 3)).slot for _ in range(200)}
+        assert chosen == {0, 1, 2, 3}
+
+    def test_deterministic_by_seed(self):
+        a = RandomPolicy(8, seed=5)
+        b = RandomPolicy(8, seed=5)
+        picks_a = [a.select_victim(cands(0, 1, 2, 3)).slot for _ in range(20)]
+        picks_b = [b.select_victim(cands(0, 1, 2, 3)).slot for _ in range(20)]
+        assert picks_a == picks_b

@@ -1,0 +1,130 @@
+"""Tests for the RRIP family (SRRIP, BRRIP, DRRIP, TA-DRRIP)."""
+
+from repro.arrays.base import Candidate
+from repro.replacement import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy, TADRRIPPolicy
+from repro.replacement.rrip import PSEL_MAX, RRPV_MAX
+
+
+def cands(*slots):
+    return [Candidate(s, 1000 + s, (s,), 0) for s in slots]
+
+
+class TestSRRIP:
+    def test_insert_at_long_interval(self):
+        p = SRRIPPolicy(8)
+        p.on_insert(0, 0, 0)
+        assert p.state[0] == RRPV_MAX - 1
+
+    def test_hit_promotes_to_zero(self):
+        p = SRRIPPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_hit(0, 0, 0)
+        assert p.state[0] == 0
+
+    def test_victim_is_max_rrpv(self):
+        p = SRRIPPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_insert(1, 0, 1)
+        p.state[1] = RRPV_MAX
+        assert p.select_victim(cands(0, 1)).slot == 1
+
+    def test_aging_when_no_victim(self):
+        p = SRRIPPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_insert(1, 0, 1)
+        p.on_hit(0, 0, 0)
+        victim = p.select_victim(cands(0, 1))
+        assert victim.slot == 1  # inserted line ages to max first
+        # Aging must have bumped both candidates.
+        assert p.state[0] > 0
+
+    def test_scan_resistance(self):
+        """A periodically reused line survives a scan indefinitely:
+        scan lines insert one step from eviction, the reused line's
+        RRPV keeps resetting to zero."""
+        p = SRRIPPolicy(16)
+        p.on_insert(0, 0, 0)
+        survivals = 0
+        for i, scan_slot in enumerate(range(1, 13)):
+            if i % 2 == 0:
+                p.on_hit(0, 0, 0)
+            p.on_insert(scan_slot, 0, scan_slot)
+            victim = p.select_victim(cands(0, scan_slot))
+            if victim.slot != 0:
+                survivals += 1
+        assert survivals == 12
+
+    def test_move_and_invalidate(self):
+        p = SRRIPPolicy(8)
+        p.on_insert(0, 0, 0)
+        p.on_hit(0, 0, 0)
+        p.on_move(0, 3)
+        assert p.state[3] == 0
+        p.on_invalidate(3)
+        assert p.state[3] == 0
+
+
+class TestBRRIP:
+    def test_inserts_mostly_at_max(self):
+        p = BRRIPPolicy(4096, seed=1)
+        at_max = 0
+        for slot in range(2000):
+            p.on_insert(slot % 4096, 0, slot)
+            if p.state[slot % 4096] == RRPV_MAX:
+                at_max += 1
+        # epsilon = 1/32: expect ~97% at max.
+        assert at_max > 1800
+
+
+class TestDRRIP:
+    def test_psel_moves_on_leader_misses(self):
+        p = DRRIPPolicy(64, seed=0)
+        start = p.psel
+        # Find an SRRIP-leader address and miss on it repeatedly.
+        srrip_leader = next(a for a in range(100_000) if p._leader(a, 0) == "srrip")
+        for _ in range(10):
+            p.on_insert(0, 0, srrip_leader)
+        assert p.psel > start
+
+        brrip_leader = next(a for a in range(100_000) if p._leader(a, 0) == "brrip")
+        for _ in range(25):
+            p.on_insert(1, 0, brrip_leader)
+        assert p.psel < start + 10
+
+    def test_followers_track_psel(self):
+        p = DRRIPPolicy(64, seed=0)
+        follower = next(a for a in range(100_000) if p._leader(a, 0) is None)
+        p.psel = 0  # SRRIP wins
+        p.on_insert(0, 0, follower)
+        assert p.state[0] == RRPV_MAX - 1
+        p.psel = PSEL_MAX  # BRRIP wins
+        brrip_values = set()
+        for _ in range(50):
+            p.on_insert(1, 0, follower)
+            brrip_values.add(p.state[1])
+        assert RRPV_MAX in brrip_values
+
+    def test_psel_saturates(self):
+        p = DRRIPPolicy(64, seed=0)
+        p.psel = PSEL_MAX
+        p._vote(0, +1)
+        assert p.psel == PSEL_MAX
+        p.psel = 0
+        p._vote(0, -1)
+        assert p.psel == 0
+
+
+class TestTADRRIP:
+    def test_per_thread_psel(self):
+        p = TADRRIPPolicy(64, num_threads=4, seed=0)
+        leader_t0 = next(a for a in range(100_000) if p._leader(a, 0) == "srrip")
+        for _ in range(10):
+            p.on_insert(0, 0, leader_t0)
+        assert p.psel_per_thread[0] > PSEL_MAX // 2
+        assert p.psel_per_thread[1] == PSEL_MAX // 2
+
+    def test_leader_sets_differ_across_threads(self):
+        p = TADRRIPPolicy(64, num_threads=4, seed=0)
+        addr = next(a for a in range(100_000) if p._leader(a, 0) == "srrip")
+        roles = {p._leader(addr, t) for t in range(4)}
+        assert roles != {"srrip"}

@@ -1,0 +1,31 @@
+"""Tests for latency composition in the system model (Table 2 terms)."""
+
+import pytest
+
+from repro.sim import SystemConfig, large_system, small_system
+
+
+class TestLatencyComposition:
+    def test_l2_hit_latency_is_l1_to_l2_plus_bank(self):
+        cfg = large_system()
+        assert cfg.l2_hit_latency == cfg.l1_to_l2_latency + cfg.l2_bank_latency
+
+    def test_memory_bandwidth_conversion(self):
+        # 32 GB/s at 2 GHz = 16 bytes per cycle.
+        assert large_system().mem_bytes_per_cycle == pytest.approx(16.0)
+        # 4 GB/s at 2 GHz = 2 bytes per cycle.
+        assert small_system().mem_bytes_per_cycle == pytest.approx(2.0)
+
+    def test_custom_frequency_scales_bandwidth(self):
+        cfg = SystemConfig(
+            num_cores=1,
+            l2_bytes=1024 * 64,
+            l2_banks=1,
+            mem_bandwidth_gbs=8.0,
+            freq_ghz=1.0,
+        )
+        assert cfg.mem_bytes_per_cycle == pytest.approx(8.0)
+
+    def test_l2_lines_accounting(self):
+        assert small_system().l2_lines == 32_768
+        assert large_system().l2_lines == 131_072

@@ -1,0 +1,39 @@
+"""Tests for the private L1 model."""
+
+import pytest
+
+from repro.sim import L1Cache
+
+
+class TestL1:
+    def test_geometry_32kb_4way(self):
+        l1 = L1Cache()
+        assert l1.num_sets == 128
+        assert l1.num_ways == 4
+
+    def test_hit_after_miss(self):
+        l1 = L1Cache()
+        assert l1.access(5) is False
+        assert l1.access(5) is True
+        assert l1.miss_rate == pytest.approx(0.5)
+
+    def test_lru_within_set(self):
+        l1 = L1Cache(size_bytes=4 * 64 * 2, num_ways=4, line_bytes=64)  # 2 sets
+        # Addresses 0,2,4,6,8 all map to set 0.
+        for addr in (0, 2, 4, 6):
+            l1.access(addr)
+        l1.access(0)
+        l1.access(8)  # evicts 2 (LRU)
+        assert l1.access(0) is True
+        assert l1.access(2) is False
+
+    def test_capacity_filtering(self):
+        l1 = L1Cache()
+        for addr in range(512):  # exactly fills 32 KB
+            l1.access(addr)
+        hits = sum(1 for addr in range(512) if l1.access(addr))
+        assert hits == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            L1Cache(size_bytes=100, num_ways=3)

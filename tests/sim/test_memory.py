@@ -1,0 +1,48 @@
+"""Tests for the bandwidth-limited memory model."""
+
+import pytest
+
+from repro.sim import MemoryModel
+
+
+class TestMemoryModel:
+    def test_zero_load_latency(self):
+        mem = MemoryModel(num_controllers=4, latency=200, bytes_per_cycle=16)
+        assert mem.request(0, now=0.0) == pytest.approx(200.0)
+
+    def test_service_time_math(self):
+        # 16 B/cycle over 4 controllers -> 4 B/cycle each -> 16 cycles/line.
+        mem = MemoryModel(num_controllers=4, latency=200, bytes_per_cycle=16)
+        assert mem.service_cycles == pytest.approx(16.0)
+
+    def test_back_to_back_requests_queue(self):
+        mem = MemoryModel(num_controllers=1, latency=100, bytes_per_cycle=16, line_bytes=64)
+        first = mem.request(0, now=0.0)
+        second = mem.request(0, now=0.0)
+        assert first == pytest.approx(100.0)
+        assert second == pytest.approx(100.0 + mem.service_cycles)
+
+    def test_requests_spread_over_controllers(self):
+        mem = MemoryModel(num_controllers=2, latency=100, bytes_per_cycle=16)
+        a = mem.request(0, now=0.0)  # controller 0
+        b = mem.request(1, now=0.0)  # controller 1: no queueing
+        assert a == b == pytest.approx(100.0)
+
+    def test_idle_gap_drains_queue(self):
+        mem = MemoryModel(num_controllers=1, latency=100, bytes_per_cycle=16)
+        mem.request(0, now=0.0)
+        later = mem.request(0, now=1_000.0)
+        assert later == pytest.approx(100.0)
+
+    def test_queue_statistics(self):
+        mem = MemoryModel(num_controllers=1, latency=100, bytes_per_cycle=16)
+        mem.request(0, 0.0)
+        mem.request(0, 0.0)
+        assert mem.requests == 2
+        assert mem.mean_queue_cycles > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryModel(num_controllers=0)
+        with pytest.raises(ValueError):
+            MemoryModel(bytes_per_cycle=0)

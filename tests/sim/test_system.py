@@ -1,0 +1,158 @@
+"""Tests for the CMP simulation loop."""
+
+import pytest
+
+from repro.allocation import StaticPolicy
+from repro.analysis import SizeTimeSeries
+from repro.arrays import SetAssociativeArray
+from repro.core import VantageCache, VantageConfig
+from repro.partitioning import BaselineCache
+from repro.replacement import make_policy
+from repro.sim import CMPSystem, SystemConfig
+
+
+def tiny_config(cores=2, **overrides):
+    params = dict(
+        num_cores=cores,
+        l2_bytes=64 * 64,  # 64 lines
+        l2_banks=1,
+        mem_bandwidth_gbs=32.0,
+        epoch_cycles=10_000,
+    )
+    params.update(overrides)
+    return SystemConfig(**params)
+
+
+def constant_trace(gap, addrs):
+    """Factory producing an infinite looping trace."""
+
+    def factory():
+        def gen():
+            while True:
+                for a in addrs:
+                    yield gap, a
+
+        return gen()
+
+    return factory
+
+
+def build_baseline(config):
+    array = SetAssociativeArray(config.l2_lines, 4, hashed=False)
+    return BaselineCache(array, make_policy("lru", config.l2_lines), config.num_cores)
+
+
+class TestTimingMath:
+    def test_all_hits_ipc(self):
+        """One L2 hit every `gap`+1 instructions costs hit_latency."""
+        config = tiny_config(cores=1)
+        cache = build_baseline(config)
+        system = CMPSystem(cache, [constant_trace(9, [1, 2])], config)
+        result = system.run(10_000)
+        # Steady state: 10 instructions + 12 cycles per event.
+        assert result.cores[0].ipc == pytest.approx(10 / 22, rel=0.05)
+
+    def test_misses_cost_memory_latency(self):
+        config = tiny_config(cores=1)
+        cache = build_baseline(config)
+
+        def factory():
+            def gen():
+                addr = 0
+                while True:
+                    addr += 1  # never reuse: always misses
+                    yield 9, addr
+
+            return gen()
+
+        system = CMPSystem(cache, [factory], config)
+        result = system.run(5_000)
+        # 10 instructions + 12 + 200 + queueing per event.
+        assert result.cores[0].ipc == pytest.approx(10 / 222, rel=0.10)
+
+    def test_ipc_measured_at_target_crossing(self):
+        """A fast core's IPC must not be polluted by cycles it spends
+        waiting for slow cores to finish."""
+        config = tiny_config(cores=2)
+        cache = build_baseline(config)
+        fast = constant_trace(9, [1])
+        slow_factory = constant_trace(0, list(range(100, 2000)))
+        system = CMPSystem(cache, [fast, slow_factory], config)
+        result = system.run(2_000)
+        assert result.cores[0].instructions == pytest.approx(2_000, abs=20)
+        assert result.cores[0].ipc > 0.4
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def run_once():
+            config = tiny_config(cores=2)
+            cache = build_baseline(config)
+            system = CMPSystem(
+                cache,
+                [constant_trace(3, [1, 2, 3]), constant_trace(2, list(range(50, 130)))],
+                config,
+            )
+            return system.run(3_000).throughput
+
+        assert run_once() == run_once()
+
+
+class TestEpochs:
+    def test_policy_invoked_each_epoch(self):
+        config = tiny_config(cores=2, epoch_cycles=1_000)
+
+        calls = []
+
+        class CountingPolicy(StaticPolicy):
+            def allocate(self):
+                calls.append(1)
+                return super().allocate()
+
+        array = SetAssociativeArray(config.l2_lines, 4, hashed=True, seed=0)
+        cache = VantageCache(array, 2, VantageConfig(unmanaged_fraction=0.2))
+        policy = CountingPolicy([25, 26])
+        system = CMPSystem(
+            cache,
+            [constant_trace(3, [1, 2, 3]), constant_trace(3, list(range(50, 100)))],
+            config,
+            policy=policy,
+        )
+        system.run(5_000)
+        assert len(calls) >= 3
+        assert cache.target == [25, 26]
+
+    def test_size_series_sampled(self):
+        config = tiny_config(cores=2, epoch_cycles=2_000)
+        array = SetAssociativeArray(config.l2_lines, 4, hashed=True, seed=0)
+        cache = VantageCache(array, 2, VantageConfig(unmanaged_fraction=0.2))
+        series = SizeTimeSeries(2)
+        system = CMPSystem(
+            cache,
+            [constant_trace(3, [1, 2, 3]), constant_trace(3, list(range(50, 100)))],
+            config,
+            policy=StaticPolicy([25, 26]),
+            size_series=series,
+            size_sample_cycles=1_000,
+        )
+        system.run(5_000)
+        assert len(series.times) >= 4
+        assert series.times == sorted(series.times)
+
+
+class TestL1Path:
+    def test_l1_filters_hot_lines(self):
+        config = tiny_config(cores=1)
+        cache = build_baseline(config)
+        system = CMPSystem(cache, [constant_trace(0, [1, 2, 3])], config, use_l1=True)
+        system.run(3_000)
+        # After three compulsory L1 misses, everything hits in L1.
+        assert cache.stats.total_accesses <= 10
+
+
+class TestValidation:
+    def test_trace_count_must_match_cores(self):
+        config = tiny_config(cores=2)
+        cache = build_baseline(config)
+        with pytest.raises(ValueError):
+            CMPSystem(cache, [constant_trace(1, [1])], config)

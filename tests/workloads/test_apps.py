@@ -1,0 +1,61 @@
+"""Tests for the Table 3 application roster."""
+
+import pytest
+
+from repro.workloads import (
+    APPS,
+    CATEGORIES,
+    FITTING,
+    FRIENDLY,
+    INSENSITIVE,
+    STREAMING,
+    make_app,
+)
+
+
+class TestRoster:
+    def test_29_apps(self):
+        assert len(APPS) == 29
+
+    def test_category_counts_match_table3(self):
+        assert len(CATEGORIES[INSENSITIVE]) == 14
+        assert len(CATEGORIES[FRIENDLY]) == 6
+        assert len(CATEGORIES[FITTING]) == 5
+        assert len(CATEGORIES[STREAMING]) == 4
+
+    def test_table3_membership_spot_checks(self):
+        assert APPS["mcf"].category == STREAMING
+        assert APPS["libquantum"].category == STREAMING
+        assert APPS["soplex"].category == FITTING
+        assert APPS["omnetpp"].category == FITTING
+        assert APPS["gcc"].category == FRIENDLY
+        assert APPS["astar"].category == FRIENDLY
+        assert APPS["perlbench"].category == INSENSITIVE
+        assert APPS["povray"].category == INSENSITIVE
+
+    def test_make_app(self):
+        assert make_app("gcc").name == "gcc"
+        with pytest.raises(ValueError):
+            make_app("doom")
+
+    def test_parameters_vary_within_category(self):
+        friendly = [APPS[n] for n in CATEGORIES[FRIENDLY]]
+        assert len({a.ws_lines for a in friendly}) > 3
+        assert len({a.mean_gap for a in friendly}) > 3
+
+
+class TestTraceFactories:
+    @pytest.mark.parametrize("name", sorted(APPS))
+    def test_every_app_produces_a_trace(self, name):
+        factory = APPS[name].trace_factory(base=1 << 30, seed=1)
+        gen = factory()
+        for _ in range(50):
+            gap, addr = next(gen)
+            assert gap >= 0
+            assert addr >= 1 << 30
+
+    def test_factories_restartable(self):
+        factory = APPS["soplex"].trace_factory(base=0, seed=2)
+        first = [next(factory()) for _ in range(1)]
+        second = [next(factory()) for _ in range(1)]
+        assert first == second

@@ -1,0 +1,53 @@
+"""Statistical properties of the workload categories, checked on the
+generators directly (cheaper than full MPKI sweeps)."""
+
+import statistics
+
+from repro.workloads import APPS, CATEGORIES
+
+
+def footprint_and_gap(app, accesses=6_000):
+    gen = app.trace_factory(base=0, seed=9)()
+    addrs = set()
+    gaps = []
+    for _ in range(accesses):
+        gap, addr = next(gen)
+        gaps.append(gap)
+        addrs.add(addr)
+    return len(addrs), statistics.mean(gaps)
+
+
+class TestCategoryStatistics:
+    def test_insensitive_apps_touch_tiny_footprints_rarely(self):
+        for name in CATEGORIES["n"]:
+            footprint, gap = footprint_and_gap(APPS[name])
+            assert footprint <= 1024, name  # <= 64 KB
+            assert gap > 150, name  # sparse L2 traffic
+
+    def test_streaming_apps_never_reuse_within_window(self):
+        for name in CATEGORIES["s"]:
+            footprint, gap = footprint_and_gap(APPS[name])
+            assert footprint == 6_000, name  # every access distinct
+            assert gap < 25, name  # heavy traffic
+
+    def test_fitting_footprints_near_capacity(self):
+        for name in CATEGORIES["t"]:
+            app = APPS[name]
+            # Working sets sized to the knee region: 0.75-1.75 MB.
+            assert 12_000 <= app.ws_lines <= 28_672, name
+
+    def test_friendly_apps_reuse_heavily_over_large_sets(self):
+        for name in CATEGORIES["f"]:
+            footprint, gap = footprint_and_gap(APPS[name])
+            # Large footprint, but far fewer distinct lines than
+            # accesses (Zipf reuse).
+            assert footprint > 2_000, name
+            assert footprint < 5_800, name
+
+    def test_mpki_ordering_between_categories(self):
+        """Traffic intensity: streaming >> friendly/fitting >> insensitive."""
+        def intensity(letter):
+            gaps = [footprint_and_gap(APPS[n], 2_000)[1] for n in CATEGORIES[letter]]
+            return statistics.mean(1.0 / (g + 1) for g in gaps)
+
+        assert intensity("s") > intensity("f") > intensity("n")

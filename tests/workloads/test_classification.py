@@ -1,0 +1,41 @@
+"""Tests that the synthetic apps land in their intended categories
+under the paper's own classification procedure (MPKI sweep).
+
+The full 29-app sweep runs in the Table 3 benchmark; here one
+representative per category keeps the unit suite fast.
+"""
+
+import pytest
+
+from repro.harness import classify_app, classify_curve, mpki_curve
+from repro.workloads import APPS
+
+
+class TestClassifyCurve:
+    def test_insensitive_low_mpki(self):
+        assert classify_curve([4.0, 3.0, 2.0, 1.0, 1.0, 1.0]) == "n"
+
+    def test_streaming_flat_high(self):
+        assert classify_curve([60.0, 60.0, 59.0, 58.0, 58.0, 57.0]) == "s"
+
+    def test_fitting_knee_past_1mb(self):
+        assert classify_curve([45.0, 44.0, 43.0, 42.0, 2.0, 2.0]) == "t"
+
+    def test_friendly_gradual(self):
+        assert classify_curve([40.0, 32.0, 24.0, 16.0, 10.0, 6.0]) == "f"
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["povray", "gcc", "soplex", "libquantum"],
+)
+def test_representative_apps_classify_correctly(name):
+    app = APPS[name]
+    assert classify_app(app, accesses=40_000) == app.category
+
+
+def test_mpki_curve_monotone_for_friendly():
+    curve = mpki_curve(APPS["bzip2"], accesses=40_000)
+    # Within noise, more capacity never hurts a cache-friendly app.
+    for a, b in zip(curve, curve[1:]):
+        assert b <= a * 1.1 + 0.5

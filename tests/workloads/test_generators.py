@@ -1,0 +1,82 @@
+"""Tests for the synthetic address-stream generators."""
+
+import statistics
+
+import pytest
+
+from repro.workloads import loop_stream, phased_stream, scan_stream, zipf_stream
+
+
+def take(gen, n):
+    return [next(gen) for _ in range(n)]
+
+
+class TestZipf:
+    def test_deterministic_by_seed(self):
+        a = take(zipf_stream(1000, 1.0, 20, base=0, seed=5), 100)
+        b = take(zipf_stream(1000, 1.0, 20, base=0, seed=5), 100)
+        assert a == b
+
+    def test_addresses_within_working_set(self):
+        pairs = take(zipf_stream(500, 0.8, 10, base=1 << 20, seed=1), 2000)
+        for _, addr in pairs:
+            assert 1 << 20 <= addr < (1 << 20) + 500
+
+    def test_gap_mean(self):
+        pairs = take(zipf_stream(100, 1.0, 50, base=0, seed=2), 5000)
+        mean = statistics.mean(g for g, _ in pairs)
+        assert 40 < mean < 60
+
+    def test_popularity_skew(self):
+        """Higher alpha concentrates accesses on fewer lines."""
+
+        def top_share(alpha):
+            pairs = take(zipf_stream(1000, alpha, 1, base=0, seed=3), 8000)
+            counts = {}
+            for _, a in pairs:
+                counts[a] = counts.get(a, 0) + 1
+            top = sorted(counts.values(), reverse=True)[:10]
+            return sum(top) / 8000
+
+        assert top_share(1.2) > top_share(0.5)
+
+    def test_rejects_empty_working_set(self):
+        with pytest.raises(ValueError):
+            next(zipf_stream(0, 1.0, 10, 0, 0))
+
+
+class TestLoop:
+    def test_sequential_cycle(self):
+        pairs = take(loop_stream(5, 0, base=100, seed=0), 12)
+        addrs = [a for _, a in pairs]
+        assert addrs == [100, 101, 102, 103, 104] * 2 + [100, 101]
+
+    def test_scan_is_a_long_loop(self):
+        pairs = take(scan_stream(10_000, 5, base=0, seed=1), 100)
+        addrs = [a for _, a in pairs]
+        assert addrs == list(range(100))
+
+
+class TestPhased:
+    def test_alternates_phases(self):
+        from functools import partial
+
+        phase_a = partial(loop_stream, 4, 0)
+        phase_b = partial(loop_stream, 4, 0)
+        gen = phased_stream(phase_a, phase_b, phase_accesses=8, base=0, seed=0)
+        pairs = take(gen, 24)
+        addrs = [a for _, a in pairs]
+        # First 8 from base region, next 8 from the offset region.
+        assert all(a < (1 << 30) for a in addrs[:8])
+        assert all(a >= (1 << 30) for a in addrs[8:16])
+        assert all(a < (1 << 30) for a in addrs[16:24])
+
+    def test_phases_resume_where_they_left_off(self):
+        from functools import partial
+
+        phase_a = partial(loop_stream, 10, 0)
+        phase_b = partial(loop_stream, 10, 0)
+        gen = phased_stream(phase_a, phase_b, phase_accesses=4, base=0, seed=0)
+        pairs = take(gen, 16)
+        a_addrs = [a for _, a in pairs[:4]] + [a for _, a in pairs[8:12]]
+        assert a_addrs == [0, 1, 2, 3, 4, 5, 6, 7]

@@ -1,0 +1,75 @@
+"""Tests for multiprogrammed mix construction."""
+
+from repro.workloads import APPS, Mix, make_mix, make_mixes, mix_classes
+
+
+class TestClasses:
+    def test_35_classes(self):
+        classes = mix_classes()
+        assert len(classes) == 35
+        assert len(set(classes)) == 35
+
+    def test_class_letter_order(self):
+        # Sorted by the paper's naming order (s, f, t, n).
+        assert "sftn" in mix_classes()
+        for cls in mix_classes():
+            order = {"s": 0, "f": 1, "t": 2, "n": 3}
+            keys = [order[c] for c in cls]
+            assert keys == sorted(keys)
+
+    def test_extreme_classes_present(self):
+        classes = mix_classes()
+        assert "ssss" in classes
+        assert "nnnn" in classes
+
+
+class TestMakeMix:
+    def test_four_core_mix(self):
+        mix = make_mix("sftn", 1)
+        assert isinstance(mix, Mix)
+        assert mix.num_cores == 4
+        assert mix.name == "sftn1"
+        cats = [app.category for app in mix.apps]
+        assert cats == ["s", "f", "t", "n"]
+
+    def test_32_core_mix(self):
+        mix = make_mix("sftn", 2, apps_per_slot=8)
+        assert mix.num_cores == 32
+        cats = [app.category for app in mix.apps]
+        assert cats == ["s"] * 8 + ["f"] * 8 + ["t"] * 8 + ["n"] * 8
+
+    def test_deterministic_without_hash_salt(self):
+        """Mixes must be identical across processes (no hash())."""
+        a = make_mix("sstt", 3, seed=1)
+        b = make_mix("sstt", 3, seed=1)
+        assert [x.name for x in a.apps] == [y.name for y in b.apps]
+
+    def test_different_indices_differ(self):
+        names = {
+            tuple(app.name for app in make_mix("ffnn", i).apps) for i in range(1, 8)
+        }
+        assert len(names) > 3
+
+    def test_trace_factories_disjoint_address_spaces(self):
+        mix = make_mix("ssss", 1)
+        factories = mix.trace_factories(seed=0)
+        firsts = []
+        for f in factories:
+            _, addr = next(f())
+            firsts.append(addr >> 44)
+        assert firsts == [0, 1, 2, 3]
+
+
+class TestSuite:
+    def test_full_suite_350(self):
+        mixes = make_mixes(mixes_per_class=10)
+        assert len(mixes) == 350
+
+    def test_scaled_suite(self):
+        mixes = make_mixes(mixes_per_class=1, class_stride=5)
+        assert len(mixes) == 7
+
+    def test_apps_drawn_from_declared_category(self):
+        for mix in make_mixes(mixes_per_class=2):
+            for letter, app in zip(mix.class_letters, mix.apps):
+                assert APPS[app.name].category == letter
