@@ -16,6 +16,14 @@ import os
 
 import pytest
 
+
+def pytest_collection_modifyitems(items):
+    # Every figure regeneration is a long-running experiment; the
+    # ``slow`` marker lets CI and local runs deselect them wholesale
+    # (``-m "not slow"``) while still collecting the suite.
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
 from repro.harness import class_stride, epoch_cycles, instructions_per_app, mixes_per_class
 from repro.sim import large_system, small_system
 from repro.workloads import make_mix, make_mixes

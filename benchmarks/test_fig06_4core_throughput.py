@@ -13,10 +13,11 @@ unpartitioned Z4/52 zcache that separates "zcache effect" from
 from conftest import four_core_mixes, scaled_instructions, scaled_small_system
 
 from repro.harness import (
+    SimJob,
     distribution_row,
     format_distribution_table,
     relative_throughputs,
-    run_mix,
+    run_jobs,
     save_results,
 )
 
@@ -71,14 +72,24 @@ def test_fig6b_selected_mixes(run_once):
     selected = [make_mix(cls, 1) for cls in ("sftn", "ttnn", "sssf")]
 
     def experiment():
+        # All (mix, scheme) pairs -- baseline included -- as one
+        # parallel batch.
+        columns = [BASELINE, FIG6B_EXTRA] + SCHEMES
+        jobs = [
+            SimJob(mix, scheme, config, instructions)
+            for mix in selected
+            for scheme in columns
+        ]
+        outcomes = run_jobs(jobs)
         table = {}
-        for mix in selected:
-            base = run_mix(mix, BASELINE, config, instructions).result.throughput
-            row = {}
-            for scheme in [FIG6B_EXTRA] + SCHEMES:
-                thr = run_mix(mix, scheme, config, instructions).result.throughput
-                row[scheme] = thr / base
-            table[mix.name] = row
+        width = len(columns)
+        for m, mix in enumerate(selected):
+            row_outcomes = outcomes[m * width : (m + 1) * width]
+            base = row_outcomes[0].result.throughput
+            table[mix.name] = {
+                scheme: outcome.result.throughput / base
+                for scheme, outcome in zip(columns[1:], row_outcomes[1:])
+            }
         return table
 
     table = run_once(experiment)

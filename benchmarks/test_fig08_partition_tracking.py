@@ -15,7 +15,7 @@ from repro.analysis import (
     attach_demotion_monitor,
     attach_eviction_monitor,
 )
-from repro.harness import run_mix, save_results
+from repro.harness import SimJob, run_jobs, save_results
 from repro.workloads import make_mix
 
 SCHEMES = ("waypart-sa16", "vantage-z4/52", "pipp-sa16")
@@ -42,9 +42,8 @@ def test_fig8_partition_size_tracking(run_once):
     mix = make_mix("sftn", 2)
 
     def experiment():
-        out = {}
-        for scheme in SCHEMES:
-            run = run_mix(
+        jobs = [
+            SimJob(
                 mix,
                 scheme,
                 config,
@@ -52,7 +51,12 @@ def test_fig8_partition_size_tracking(run_once):
                 seed=2,
                 size_sample_cycles=config.epoch_cycles // 4,
             )
-            series = run.size_series
+            for scheme in SCHEMES
+        ]
+        outcomes = run_jobs(jobs)
+        out = {}
+        for scheme, outcome in zip(SCHEMES, outcomes):
+            series = outcome.size_series
             out[scheme] = {
                 "times": series.times,
                 "targets": series.targets[TRACKED],

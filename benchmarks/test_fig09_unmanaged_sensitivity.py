@@ -9,11 +9,7 @@ from conftest import four_core_mixes, scaled_instructions, scaled_small_system
 
 from repro.analysis import geo_mean, worst_case_pev
 from repro.core import VantageConfig
-from repro.harness import build_policy, save_results
-from repro.harness.schemes import build_array
-from repro.core import VantageCache
-from repro.harness import run_mix
-from repro.sim import CMPSystem
+from repro.harness import SimJob, run_jobs, save_results
 
 U_SWEEP = (0.05, 0.10, 0.15, 0.20, 0.25, 0.30)
 R = 52
@@ -25,26 +21,31 @@ def test_fig9_unmanaged_region_sweep(run_once):
     mixes = four_core_mixes(default_count=2)
 
     def experiment():
-        baselines = {}
-        for mix in mixes:
-            baselines[mix.name] = run_mix(
-                mix, "lru-sa16", config, instructions
-            ).result.throughput
-        sweep = {}
+        # One parallel batch: per-mix LRU baselines plus the whole
+        # (u, mix) grid, via the vantage_config job override.
+        jobs = [SimJob(mix, "lru-sa16", config, instructions) for mix in mixes]
         for u in U_SWEEP:
-            rel, managed_fracs = [], []
-            for mix in mixes:
-                array = build_array("z4/52", config.l2_lines, seed=0)
-                cache = VantageCache(
-                    array,
-                    config.num_cores,
-                    VantageConfig(unmanaged_fraction=u, a_max=0.5, slack=0.1),
+            vcfg = VantageConfig(unmanaged_fraction=u, a_max=0.5, slack=0.1)
+            jobs.extend(
+                SimJob(
+                    mix, "vantage-z4/52", config, instructions, vantage_config=vcfg
                 )
-                policy = build_policy(cache, config)
-                system = CMPSystem(cache, mix.trace_factories(0), config, policy=policy)
-                result = system.run(instructions)
-                rel.append(result.throughput / baselines[mix.name])
-                managed_fracs.append(cache.managed_eviction_fraction())
+                for mix in mixes
+            )
+        outcomes = run_jobs(jobs)
+
+        baselines = {
+            mix.name: outcome.result.throughput
+            for mix, outcome in zip(mixes, outcomes)
+        }
+        sweep = {}
+        for i, u in enumerate(U_SWEEP):
+            row = outcomes[(i + 1) * len(mixes) : (i + 2) * len(mixes)]
+            rel = [
+                outcome.result.throughput / baselines[mix.name]
+                for mix, outcome in zip(mixes, row)
+            ]
+            managed_fracs = [outcome.managed_eviction_fraction for outcome in row]
             sweep[u] = {
                 "geomean": geo_mean(rel),
                 "managed_eviction_fracs": managed_fracs,

@@ -121,8 +121,22 @@ class UCPPolicy:
         self.total_units = total_units
         self.min_units = min_units
         self.granularity = granularity
+        # Bound per-monitor sample-cache getters for observe()'s early
+        # exit (the monitors list never changes after construction).
+        # Duck-typed monitors without a sample cache (e.g. RRIPMonitor)
+        # fall back to a getter that never skips the access.
+        self._sample_gets = [
+            m._sample_cache.get
+            if hasattr(m, "_sample_cache")
+            else (lambda addr, default=None: default)
+            for m in self.monitors
+        ]
 
     def observe(self, part: int, addr: int) -> None:
+        # The vast majority of addresses fall outside the monitor's
+        # sampled sets; its per-address cache lets us skip the call.
+        if self._sample_gets[part](addr, -1) is None:
+            return
         self.monitors[part].access(addr)
 
     def allocate(self) -> list[int]:

@@ -54,13 +54,23 @@ class UMonitor:
         self._hash = H3Hash(model_sets, seed)
         # One LRU stack (list of addrs, MRU first) per sampled set.
         self._stacks: dict[int, list[int]] = {}
+        # addr -> sampled set index, or None for the (vast) majority
+        # of addresses that fall outside the sampled sets.  The hash
+        # and the sampling decision are static per address, so this
+        # avoids re-hashing every access.
+        self._sample_cache: dict[int, int | None] = {}
         self.hits = [0] * num_ways
         self.accesses = 0
 
     def access(self, addr: int) -> None:
         """Observe one of the core's L2 accesses."""
-        set_index = self._hash(addr)
-        if set_index % self._period:
+        set_index = self._sample_cache.get(addr, -1)
+        if set_index == -1:
+            set_index = self._hash(addr)
+            if set_index % self._period:
+                set_index = None
+            self._sample_cache[addr] = set_index
+        if set_index is None:
             return
         self.accesses += 1
         stack = self._stacks.get(set_index)

@@ -13,14 +13,18 @@ higher layers can follow the lines.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, NamedTuple
+from collections import namedtuple
+from typing import Iterator
 
 
-class Candidate(NamedTuple):
+class Candidate(namedtuple("Candidate", ("slot", "addr", "path", "way"))):
     """One replacement option returned by :meth:`CacheArray.candidates`.
 
-    A NamedTuple (not a dataclass) because millions are created on the
-    hot path of every simulation.
+    A namedtuple (not a dataclass) with empty ``__slots__`` because
+    millions can be created on the hot path of a simulation; the fast
+    path (:meth:`CacheArray.candidate_slots`) avoids materialising
+    them at all and only builds the final victim via
+    :meth:`CacheArray.make_candidate`.
 
     Attributes
     ----------
@@ -41,10 +45,7 @@ class Candidate(NamedTuple):
         to restrict victims to a partition's assigned ways.
     """
 
-    slot: int
-    addr: int | None
-    path: tuple[int, ...]
-    way: int
+    __slots__ = ()
 
     @property
     def is_empty(self) -> bool:
@@ -98,6 +99,66 @@ class CacheArray(ABC):
         callers normally install into an empty candidate when one
         exists, since that evicts nothing.
         """
+
+    # ------------------------------------------------------------------
+    # Fast-path candidate protocol.
+    # ------------------------------------------------------------------
+    #
+    # ``candidates()`` materialises one Candidate per replacement
+    # option -- millions of short-lived namedtuples per simulation.
+    # The fast path works on plain slot indices instead and only
+    # builds the single Candidate that is actually evicted:
+    #
+    #   1. ``candidate_slots(addr)`` returns ``(slots, parents,
+    #      has_empty)``.  ``slots`` is a sequence (list or range) of
+    #      candidate slots in exactly the discovery order of
+    #      ``candidates()``.  ``parents`` is an *opaque descriptor*
+    #      consumed only by ``make_candidate`` -- a per-slot parent
+    #      index list (-1 for first-level candidates), ``None`` when
+    #      every path is single-slot, or an array-private encoding.
+    #      When ``has_empty`` is true, generation stopped at the first
+    #      empty slot, which is ``slots[-1]`` -- semantically
+    #      identical to a full generation followed by "install into
+    #      the first empty candidate", since callers never inspect
+    #      candidates past the one they install into.  Both ``slots``
+    #      and ``parents`` may be scratch objects owned by the array:
+    #      they are valid only until the next walk, so callers must
+    #      consume (or copy) them within the current miss.
+    #   2. ``make_candidate(slots, parents, i)`` reconstructs the full
+    #      Candidate (path included) for the chosen index.
+    #
+    # The base implementation returns ``None`` (no fast path); callers
+    # must then fall back to ``candidates()``.
+
+    def candidate_slots(
+        self, addr: int
+    ) -> tuple[list[int], list[int] | None, bool] | None:
+        """Fast-path candidate generation; ``None`` if unsupported."""
+        return None
+
+    def way_of_slot(self, slot: int) -> int:
+        """The way ``slot`` belongs to (layout-dependent)."""
+        return slot % self.num_ways
+
+    def make_candidate(
+        self, slots: list[int], parents: list[int] | None, index: int
+    ) -> Candidate:
+        """Materialise the :class:`Candidate` for ``slots[index]``."""
+        slot = slots[index]
+        if parents is None:
+            path: tuple[int, ...] = (slot,)
+        else:
+            parent = parents[index]
+            if parent < 0:
+                path = (slot,)
+            else:
+                chain = [slot]
+                while parent >= 0:
+                    chain.append(slots[parent])
+                    parent = parents[parent]
+                chain.reverse()
+                path = tuple(chain)
+        return Candidate(slot, self._tags[slot], path, self.way_of_slot(slot))
 
     # ------------------------------------------------------------------
     # Common operations.

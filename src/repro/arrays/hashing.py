@@ -111,6 +111,32 @@ class H3Family:
         self.functions = tuple(
             H3Hash(num_buckets, base.getrandbits(62)) for _ in range(num_ways)
         )
+        # Fused tabulation tables: entry v of byte table b packs every
+        # way's table[b][v] into one integer, 32 bits per way.  XOR is
+        # bitwise, so one lookup chain evaluates all ways at once --
+        # the per-way results are bit-identical to calling each
+        # H3Hash separately.  Each lane is pre-masked to the bucket
+        # width (AND distributes over XOR), so lane values never carry
+        # into the next lane and callers may add per-lane offsets to
+        # the packed result.
+        bucket_mask = num_buckets - 1
+        self._fused = []
+        for byte_index in range(_KEY_BYTES):
+            table = []
+            for value in range(256):
+                packed = 0
+                for way, fn in enumerate(self.functions):
+                    lane = fn._tables[byte_index][value] & bucket_mask
+                    packed |= lane << (_MASK_BITS * way)
+                table.append(packed)
+            self._fused.append(table)
+        self._fused_zero_high = (
+            self._fused[4][0]
+            ^ self._fused[5][0]
+            ^ self._fused[6][0]
+            ^ self._fused[7][0]
+        )
+        self._bucket_mask = num_buckets - 1
 
     def __getitem__(self, way: int) -> H3Hash:
         return self.functions[way]
@@ -118,6 +144,29 @@ class H3Family:
     def __len__(self) -> int:
         return self.num_ways
 
+    def packed(self, key: int) -> int:
+        """All ways' bucket indices of ``key``, packed 32 bits per way
+        (lane ``way`` holds way ``way``'s bucket)."""
+        t = self._fused
+        h = (
+            t[0][key & 0xFF]
+            ^ t[1][(key >> 8) & 0xFF]
+            ^ t[2][(key >> 16) & 0xFF]
+            ^ t[3][(key >> 24) & 0xFF]
+        )
+        if key >> 32:
+            return h ^ (
+                t[4][(key >> 32) & 0xFF]
+                ^ t[5][(key >> 40) & 0xFF]
+                ^ t[6][(key >> 48) & 0xFF]
+                ^ t[7][(key >> 56) & 0xFF]
+            )
+        return h ^ self._fused_zero_high
+
     def positions(self, key: int) -> tuple[int, ...]:
         """Bucket index of ``key`` in every way."""
-        return tuple(fn(key) for fn in self.functions)
+        h = self.packed(key)
+        mask = self._bucket_mask
+        return tuple(
+            (h >> (_MASK_BITS * way)) & mask for way in range(self.num_ways)
+        )

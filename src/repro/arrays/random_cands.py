@@ -53,6 +53,13 @@ class RandomCandidatesArray(CacheArray):
         slots = self._rng.sample(range(self.num_lines), self._r)
         return [Candidate(slot, tags[slot], (slot,), 0) for slot in slots]
 
+    def candidate_slots(self, addr: int):
+        # Consumes the RNG exactly like candidates(): one sample per
+        # miss once the array is full, nothing while slots are free.
+        if self._free:
+            return [self._free[-1]], None, True
+        return self._rng.sample(range(self.num_lines), self._r), None, False
+
     def install(self, addr: int, victim: Candidate) -> list[tuple[int, int]]:
         if victim.addr is None and self._free and victim.slot == self._free[-1]:
             self._free.pop()

@@ -41,6 +41,13 @@ class SetAssociativeArray(CacheArray):
         self._hash = H3Hash(self.num_sets, seed) if hashed else None
         self._set_mask = self.num_sets - 1
         self._index_cache: dict[int, int] = {}
+        # Free-slot count per set, so candidate_slots can skip the
+        # per-way emptiness scan once a set is full (the steady state),
+        # and reusable range objects for the full-set fast path.
+        self._set_free = [num_ways] * self.num_sets
+        self._set_ranges = [
+            range(s * num_ways, (s + 1) * num_ways) for s in range(self.num_sets)
+        ]
 
     @property
     def candidates_per_miss(self) -> int:
@@ -67,6 +74,26 @@ class SetAssociativeArray(CacheArray):
             Candidate(base + way, tags[base + way], (base + way,), way)
             for way in range(self.num_ways)
         ]
+
+    def candidate_slots(self, addr: int):
+        set_index = self.set_index(addr)
+        if self._set_free[set_index]:
+            base = set_index * self.num_ways
+            tags = self._tags
+            slots: list[int] = []
+            for slot in range(base, base + self.num_ways):
+                slots.append(slot)
+                if tags[slot] is None:
+                    return slots, None, True
+        return self._set_ranges[set_index], None, False
+
+    def _place(self, addr: int, slot: int) -> None:
+        super()._place(addr, slot)
+        self._set_free[slot // self.num_ways] -= 1
+
+    def _remove(self, slot: int) -> None:
+        super()._remove(slot)
+        self._set_free[slot // self.num_ways] += 1
 
     def set_slots(self, set_index: int) -> range:
         """Slots of one set, in way order (used by per-set policies)."""

@@ -9,7 +9,7 @@ zcache whose replacement walk stops at the first level.
 from __future__ import annotations
 
 from repro.arrays.base import CacheArray, Candidate
-from repro.arrays.hashing import H3Family
+from repro.arrays.hashing import _MASK_BITS, H3Family
 
 
 class SkewAssociativeArray(CacheArray):
@@ -23,8 +23,27 @@ class SkewAssociativeArray(CacheArray):
         super().__init__(num_lines, num_ways)
         if self.num_sets & (self.num_sets - 1):
             raise ValueError(f"num_sets must be a power of two, got {self.num_sets}")
+        if num_lines >= 1 << _MASK_BITS:
+            raise ValueError("num_lines must fit in one fused-hash lane")
         self.hashes = H3Family(num_ways, self.num_sets, seed)
         self._position_cache: dict[int, tuple[int, ...]] = {}
+        # The fused hash packs each way's bucket into its own 32-bit
+        # lane; adding these pre-shifted bank bases turns every lane
+        # into a global slot index in a single operation (lanes are
+        # pre-masked to the bucket width, so the add cannot carry).
+        self._lane_offsets = sum(
+            (way * self.num_sets) << (_MASK_BITS * way) for way in range(num_ways)
+        )
+        self._lane_shifts = tuple(_MASK_BITS * way for way in range(num_ways))
+        self._lane_mask = (1 << _MASK_BITS) - 1
+        # The *other-way* positions of the line resident at each slot
+        # (None when empty): a line always sits at one of its own
+        # hashed positions, so the walk never needs to re-visit that
+        # one, and a list index replaces a per-parent dict lookup.
+        self._pos_by_slot: list[tuple[int, ...] | None] = [None] * num_lines
+        # Scratch list reused by candidate_slots (see the fast-path
+        # protocol: the result is only valid until the next walk).
+        self._walk_slots: list[int] = []
 
     @property
     def candidates_per_miss(self) -> int:
@@ -33,10 +52,9 @@ class SkewAssociativeArray(CacheArray):
     def positions(self, addr: int) -> tuple[int, ...]:
         pos = self._position_cache.get(addr)
         if pos is None:
-            num_sets = self.num_sets
-            pos = tuple(
-                way * num_sets + fn(addr) for way, fn in enumerate(self.hashes.functions)
-            )
+            h = self.hashes.packed(addr) + self._lane_offsets
+            mask = self._lane_mask
+            pos = tuple([(h >> shift) & mask for shift in self._lane_shifts])
             self._position_cache[addr] = pos
         return pos
 
@@ -47,5 +65,91 @@ class SkewAssociativeArray(CacheArray):
             for way, slot in enumerate(self.positions(addr))
         ]
 
+    def candidate_slots(self, addr: int):
+        tags = self._tags
+        slots = self._walk_slots
+        slots.clear()
+        for slot in self.positions(addr):
+            slots.append(slot)
+            if tags[slot] is None:
+                return slots, None, True
+        return slots, None, False
+
     def way_of_slot(self, slot: int) -> int:
         return slot // self.num_sets
+
+    def _other_positions(self, addr: int, slot: int) -> tuple[int, ...]:
+        """``positions(addr)`` minus ``addr``'s own slot.  The line
+        sits at its way's position, so dropping index ``way(slot)``
+        removes exactly that one."""
+        pos = self.positions(addr)
+        way = slot // self.num_sets
+        return pos[:way] + pos[way + 1 :]
+
+    def install(self, addr: int, victim: Candidate) -> list[tuple[int, int]]:
+        # Mirrors CacheArray.install with this class's _place/_move/
+        # _remove bookkeeping inlined; install runs once per miss and
+        # the method-call chain is measurable there.
+        slot_of = self._slot_of
+        if addr in slot_of:
+            raise ValueError(f"address {addr:#x} is already present")
+        path = victim.path
+        last = path[-1]
+        if victim.slot != last:
+            raise ValueError("victim slot does not terminate its path")
+        tags = self._tags
+        pbs = self._pos_by_slot
+        num_sets = self.num_sets
+        pcache_get = self._position_cache.get
+        if victim.addr is not None:
+            old = tags[last]
+            if old is None:
+                raise ValueError(f"slot {last} is already empty")
+            tags[last] = None
+            del slot_of[old]
+            pbs[last] = None
+        moves: list[tuple[int, int]] = []
+        for i in range(len(path) - 1, 0, -1):
+            src = path[i - 1]
+            dst = path[i]
+            line = tags[src]
+            if line is None:
+                raise ValueError(f"cannot move from empty slot {src}")
+            if tags[dst] is not None:
+                raise ValueError(f"cannot move into occupied slot {dst}")
+            tags[src] = None
+            tags[dst] = line
+            slot_of[line] = dst
+            # _other_positions(line, dst), inlined: a resident line's
+            # positions are always in the cache.
+            pos = pcache_get(line)
+            way = dst // num_sets
+            pbs[dst] = pos[:way] + pos[way + 1 :]
+            pbs[src] = None
+            moves.append((src, dst))
+        first = path[0]
+        if tags[first] is not None:
+            raise ValueError(f"slot {first} is occupied")
+        tags[first] = addr
+        slot_of[addr] = first
+        pos = pcache_get(addr)
+        if pos is None:
+            pos = self.positions(addr)
+        way = first // num_sets
+        pbs[first] = pos[:way] + pos[way + 1 :]
+        return moves
+
+    def _place(self, addr: int, slot: int) -> None:
+        super()._place(addr, slot)
+        self._pos_by_slot[slot] = self._other_positions(addr, slot)
+
+    def _move(self, src: int, dst: int) -> None:
+        addr = self._tags[src]
+        super()._move(src, dst)
+        if addr is not None:
+            self._pos_by_slot[dst] = self._other_positions(addr, dst)
+        self._pos_by_slot[src] = None
+
+    def _remove(self, slot: int) -> None:
+        super()._remove(slot)
+        self._pos_by_slot[slot] = None

@@ -22,6 +22,26 @@ from repro.arrays.base import Candidate
 from repro.arrays.skew import SkewAssociativeArray
 
 
+class _WalkLevels(list):
+    """Level-end indices of a replacement walk (``slots[bounds[k-1]:
+    bounds[k]]`` is level ``k``), passed as the ``parents`` descriptor
+    of the fast-path protocol.  The walk records no per-slot parent;
+    :meth:`ZCacheArray.make_candidate` re-derives the victim's path:
+    a slot's discoverer is the *first* previous-level candidate whose
+    stored positions contain it (any earlier one would have discovered
+    it first).  Every expanded parent is occupied -- an empty slot
+    ends the walk immediately, so it can only ever be the last slot
+    of the final level -- which is what lets the reconstruction read
+    ``_pos_by_slot`` unconditionally.
+
+    ``hint`` is the index (into the slot list) of the parent that
+    discovered the *last* slot, recorded when the walk stops at an
+    empty slot, or -1.  Empty-stop victims are the common case, and
+    the hint skips the widest parent scan of the reconstruction."""
+
+    __slots__ = ("hint",)
+
+
 class ZCacheArray(SkewAssociativeArray):
     """W-way zcache providing R candidates per replacement.
 
@@ -52,6 +72,15 @@ class ZCacheArray(SkewAssociativeArray):
                 f"num_ways ({num_ways})"
             )
         self._r = candidates_per_miss
+        # Generation-stamped visited marks: a per-slot int compared
+        # against a walk counter is cheaper than a set of slot indices
+        # rebuilt on every miss.
+        self._walk_stamp = [0] * num_lines
+        self._walk_gen = 0
+        # Reused level-bounds descriptor (valid until the next walk,
+        # like _walk_slots).
+        self._walk_bounds = _WalkLevels()
+        self._walk_bounds.hint = -1
 
     @property
     def candidates_per_miss(self) -> int:
@@ -114,3 +143,131 @@ class ZCacheArray(SkewAssociativeArray):
                         return found
             frontier = next_frontier
         return found
+
+    def make_candidate(self, slots, parents, index):
+        if type(parents) is not _WalkLevels:
+            return super().make_candidate(slots, parents, index)
+        bounds = parents
+        slot = slots[index]
+        level = 0
+        while bounds[level] <= index:
+            level += 1
+        chain = [slot]
+        cur = slot
+        pos_by_slot = self._pos_by_slot
+        if level > 0 and bounds.hint >= 0 and index == len(slots) - 1:
+            cur = slots[bounds.hint]
+            chain.append(cur)
+            level -= 1
+        while level > 0:
+            lo = bounds[level - 2] if level >= 2 else 0
+            for pi in range(lo, bounds[level - 1]):
+                parent = slots[pi]
+                if cur in pos_by_slot[parent]:
+                    cur = parent
+                    break
+            else:  # pragma: no cover - the walk guarantees a parent
+                raise RuntimeError("walk level bounds are inconsistent")
+            chain.append(cur)
+            level -= 1
+        chain.reverse()
+        return Candidate(
+            slot, self._tags[slot], tuple(chain), slot // self.num_sets
+        )
+
+    def candidate_slots(self, addr: int):
+        """The replacement walk on primitive slot indices.
+
+        Visits slots in exactly the order of :meth:`candidates` but
+        materialises no Candidate objects, and stops at the first
+        empty slot (see the fast-path protocol in
+        :class:`~repro.arrays.base.CacheArray`).  A resident line
+        always sits at one of its own hashed positions, so the
+        parent's way is skipped implicitly by the ``visited`` check.
+        """
+        tags = self._tags
+        pos_by_slot = self._pos_by_slot
+        gen = self._walk_gen + 1
+        self._walk_gen = gen
+        stamps = self._walk_stamp
+        slots = self._walk_slots
+        slots.clear()
+        slots_append = slots.append
+
+        first = self._position_cache.get(addr)
+        if first is None:
+            first = self.positions(addr)
+
+        if len(self._slot_of) == self.num_lines:
+            # Full array (the steady state): no slot can be empty, so
+            # the per-slot emptiness and count checks disappear.  Each
+            # parent's expansion may overshoot R; trimming to R keeps
+            # exactly the first R slots in discovery order.  No parent
+            # list is built either: make_candidate() re-derives the
+            # victim's path from the level bounds (see _WalkLevels).
+            for slot in first:
+                if stamps[slot] != gen:
+                    stamps[slot] = gen
+                    slots_append(slot)
+            r = self._r
+            bounds = self._walk_bounds
+            bounds.clear()
+            bounds.hint = -1
+            level_start = 0
+            n = len(slots)
+            bounds.append(n)
+            while n < r and level_start < n:
+                for pi in range(level_start, n):
+                    for slot in pos_by_slot[slots[pi]]:
+                        if stamps[slot] != gen:
+                            stamps[slot] = gen
+                            slots_append(slot)
+                    if len(slots) >= r:
+                        del slots[r:]
+                        bounds.append(r)
+                        return slots, bounds, False
+                level_start = n
+                n = len(slots)
+                bounds.append(n)
+            return slots, bounds, False
+
+        # First-level positions sit in distinct banks and never collide
+        # with each other, so their stamps are set but not checked.
+        bounds = self._walk_bounds
+        bounds.clear()
+        bounds.hint = -1
+        n = 0
+        for slot in first:
+            stamps[slot] = gen
+            slots_append(slot)
+            n += 1
+            if tags[slot] is None:
+                bounds.append(n)
+                return slots, bounds, True
+
+        r = self._r
+        bounds.append(n)
+        level_start = 0
+        # Every listed slot is occupied (an empty slot ends the walk
+        # immediately), so each level's frontier is exactly the index
+        # range the previous level appended -- no frontier lists; and
+        # an occupied slot always has its line's positions cached in
+        # _pos_by_slot, so expansion is a single list index.
+        while n < r and level_start < n:
+            level_end = n
+            for pi in range(level_start, level_end):
+                for slot in pos_by_slot[slots[pi]]:
+                    if stamps[slot] != gen:
+                        stamps[slot] = gen
+                        slots_append(slot)
+                        n += 1
+                        if tags[slot] is None:
+                            bounds.append(n)
+                            bounds.hint = pi
+                            return slots, bounds, True
+                        if n == r:
+                            bounds.append(n)
+                            return slots, bounds, False
+            bounds.append(n)
+            level_start = level_end
+        return slots, bounds, False

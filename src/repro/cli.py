@@ -7,6 +7,8 @@ Subcommands:
 - ``size-unmanaged``: evaluate the Section 4.3 sizing closed form.
 - ``run-mix``: simulate one multiprogrammed mix under a scheme.
 - ``overheads``: Vantage state-overhead accounting.
+- ``bench``: time the optimized simulation kernels against the
+  reference implementations (writes ``BENCH_<tag>.json``).
 
 Example::
 
@@ -23,6 +25,13 @@ from repro.harness import mpki_curve, classify_curve, run_mix
 from repro.harness.classify import SWEEP_LINES
 from repro.sim import large_system, small_system
 from repro.workloads import APPS, CATEGORY_NAMES, make_mix
+
+
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {n}")
+    return n
 
 
 def _cmd_list_apps(args) -> int:
@@ -94,6 +103,23 @@ def _cmd_run_mix(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.harness.bench import run_bench
+
+    report = run_bench(
+        smoke=args.smoke,
+        tag=args.tag,
+        rounds=args.rounds,
+        instructions=args.instructions,
+    )
+    headline = report["kernels"][0]
+    print(
+        f"headline: {headline['scheme']} optimized kernel is "
+        f"{headline['speedup']:.2f}x the reference"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Vantage cache-partitioning reproduction"
@@ -126,6 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epoch-cycles", type=int, default=250_000)
     p.add_argument("--seed", type=int, default=0)
 
+    p = sub.add_parser(
+        "bench", help="time the optimized kernels against the reference"
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short correctness run (CI); timings are not meaningful",
+    )
+    p.add_argument("--tag", default=None, help="suffix for BENCH_<tag>.json")
+    p.add_argument("--rounds", type=_positive_int, default=None)
+    p.add_argument("--instructions", type=_positive_int, default=None)
+
     return parser
 
 
@@ -135,6 +173,7 @@ _COMMANDS = {
     "size-unmanaged": _cmd_size_unmanaged,
     "overheads": _cmd_overheads,
     "run-mix": _cmd_run_mix,
+    "bench": _cmd_bench,
 }
 
 

@@ -111,8 +111,8 @@ class AnalyticalVantageCache(VantageCache):
         self._hist[owner][self.line_ts[slot]] -= 1
         super()._demote(slot, owner)
 
-    def _evict(self, victim) -> None:
-        owner = self.part_of[victim.slot]
+    def _evict_slot(self, slot: int) -> None:
+        owner = self.part_of[slot]
         if owner is not None and owner != UNMANAGED:
-            self._hist[owner][self.line_ts[victim.slot]] -= 1
-        super()._evict(victim)
+            self._hist[owner][self.line_ts[slot]] -= 1
+        super()._evict_slot(slot)

@@ -31,10 +31,14 @@ negative-feedback direction (see DESIGN.md and
 from __future__ import annotations
 
 from repro.arrays.base import CacheArray, Candidate
+from repro.arrays.zcache import ZCacheArray
 from repro.core.config import VantageConfig
 from repro.core.feedback import build_threshold_table, lookup_threshold
 
 TS_MOD = 256
+#: TS_MOD is a power of two, so hot paths use ``& _TS_MASK`` for the
+#: modular timestamp distance instead of ``% TS_MOD``.
+_TS_MASK = TS_MOD - 1
 #: ``part_of`` value for lines in the unmanaged region.
 UNMANAGED = -1
 #: Initial keep-window width (timestamp distance between CurrentTS and
@@ -101,6 +105,30 @@ class VantageCache(PartitionedCache):
         #: Optional hook ``fn(slot, part)`` called just before a line
         #: of ``part`` is demoted (measurement only).
         self.demotion_hook = None
+
+        # --- Hot-path caches. ---
+        # Tick periods (max(1, size >> 4)) memoised until the region
+        # size they derive from changes.
+        self._tick_period = [1] * n
+        self._tick_size = [-1] * n
+        self._utick_period = 1
+        self._utick_size = -1
+        # Dispatch flags: True when the subclass keeps the stock
+        # implementation of a per-candidate/per-access hook, letting
+        # the hot paths inline it instead of paying a method call.
+        cls = type(self)
+        self._lru_demotion = cls._demotable is VantageCache._demotable
+        self._plain_demote = cls._demote is VantageCache._demote
+        self._lru_touch = cls._touch is VantageCache._touch
+        self._has_move_hook = cls._move_line_state is not VantageCache._move_line_state
+        self._plain_insert = (
+            cls._set_inserted_line_state is VantageCache._set_inserted_line_state
+        )
+        # Zcache replacement walks and the demotion scan can be fused
+        # into one pass (see _zmiss); the walk reads only tag state
+        # and the scan writes only partition state, so interleaving
+        # them is behaviour-preserving.
+        self._zwalk = isinstance(array, ZCacheArray)
 
     # ------------------------------------------------------------------
     # Configuration / allocation interface.
@@ -177,23 +205,33 @@ class VantageCache(PartitionedCache):
         1/16th of the partition's size worth of accesses.  The setpoint
         moves with CurrentTS, so the keep width is unchanged."""
         self.access_counter[part] += 1
-        if self.access_counter[part] >= max(1, self.actual_size[part] >> 4):
+        size = self.actual_size[part]
+        if size != self._tick_size[part]:
+            self._tick_size[part] = size
+            period = size >> 4
+            self._tick_period[part] = period if period > 0 else 1
+        if self.access_counter[part] >= self._tick_period[part]:
             self.access_counter[part] = 0
-            self.current_ts[part] = (self.current_ts[part] + 1) % TS_MOD
+            self.current_ts[part] = (self.current_ts[part] + 1) & _TS_MASK
 
     def _tick_unmanaged(self) -> None:
         self._unmanaged_counter += 1
-        if self._unmanaged_counter >= max(1, self.unmanaged_size >> 4):
+        size = self.unmanaged_size
+        if size != self._utick_size:
+            self._utick_size = size
+            period = size >> 4
+            self._utick_period = period if period > 0 else 1
+        if self._unmanaged_counter >= self._utick_period:
             self._unmanaged_counter = 0
-            self.unmanaged_ts = (self.unmanaged_ts + 1) % TS_MOD
+            self.unmanaged_ts = (self.unmanaged_ts + 1) & _TS_MASK
 
     def staleness(self, slot: int) -> int:
         """Timestamp distance of the line at ``slot`` within its scope
         (its partition, or the unmanaged region).  Used by monitors."""
         owner = self.part_of[slot]
         if owner == UNMANAGED:
-            return (self.unmanaged_ts - self.line_ts[slot]) % TS_MOD
-        return (self.current_ts[owner] - self.line_ts[slot]) % TS_MOD
+            return (self.unmanaged_ts - self.line_ts[slot]) & _TS_MASK
+        return (self.current_ts[owner] - self.line_ts[slot]) & _TS_MASK
 
     # ------------------------------------------------------------------
     # Setpoint feedback (Section 4.2 mechanics, Section 4.3 direction).
@@ -231,28 +269,46 @@ class VantageCache(PartitionedCache):
     # ------------------------------------------------------------------
 
     def access(self, addr: int, part: int = 0) -> bool:
-        array = self.array
-        slot = array.lookup(addr)
+        # Stats bookkeeping is inlined (vs _record_access) -- this is
+        # the hottest method of a simulation.
+        st = self.stats
+        slot = self._lookup(addr)
         if slot is not None:
             self._hit(slot, part)
-            self._record_access(part, hit=True)
+            st.accesses[part] += 1
+            st.hits[part] += 1
             return True
-        self._record_access(part, hit=False)
+        st.accesses[part] += 1
+        st.misses[part] += 1
         self._miss(addr, part)
         return False
 
     def _hit(self, slot: int, part: int) -> None:
-        if self.part_of[slot] == UNMANAGED:
+        part_of = self.part_of
+        owner = part_of[slot]
+        if owner == UNMANAGED:
             # Promotion: the line re-joins the accessing partition.
             self.unmanaged_size -= 1
-            self.part_of[slot] = part
+            part_of[slot] = part
             self.actual_size[part] += 1
             self.promotions[part] += 1
             owner = part
+        if self._lru_touch:
+            self.line_ts[slot] = self.current_ts[owner]
         else:
-            owner = self.part_of[slot]
-        self._touch(slot, owner)
-        self._tick(owner)
+            self._touch(slot, owner)
+        # _tick(owner), inlined: this runs once per hit.
+        count = self.access_counter[owner] + 1
+        size = self.actual_size[owner]
+        if size != self._tick_size[owner]:
+            self._tick_size[owner] = size
+            period = size >> 4
+            self._tick_period[owner] = period if period > 0 else 1
+        if count >= self._tick_period[owner]:
+            self.access_counter[owner] = 0
+            self.current_ts[owner] = (self.current_ts[owner] + 1) & _TS_MASK
+        else:
+            self.access_counter[owner] = count
 
     def _touch(self, slot: int, owner: int) -> None:
         """Refresh the base-policy rank of a line on a hit (LRU:
@@ -261,48 +317,289 @@ class VantageCache(PartitionedCache):
 
     def _miss(self, addr: int, part: int) -> None:
         array = self.array
-        candidates = array.candidates(addr)
-        victim = self._first_empty(candidates)
-        demoted_this_miss: list[Candidate] = []
-        if victim is None:
-            victim = self._replacement(candidates, demoted_this_miss)
+        if self._zwalk and len(array._slot_of) == array.num_lines:
+            self._zmiss(addr, part, array)
+            return
+        fast = array.candidate_slots(addr)
+        if fast is not None:
+            slots, parents, has_empty = fast
+            if has_empty:
+                # Generation stopped at the first empty slot.
+                index = len(slots) - 1
+            else:
+                index = self._replacement_index(slots)
+            victim = array.make_candidate(slots, parents, index)
+        else:
+            # Arrays without a fast path still work via Candidate lists.
+            candidates = array.candidates(addr)
+            victim = self._first_empty(candidates)
+            if victim is None:
+                index = self._replacement_index([c.slot for c in candidates])
+                victim = candidates[index]
         self._finish_install(addr, part, victim)
 
-    def _replacement(
-        self, candidates: list[Candidate], demoted: list[Candidate]
-    ) -> Candidate:
-        """Demotion checks over all candidates, then victim selection."""
+    def _zmiss(self, addr: int, part: int, array) -> None:
+        """Fused replacement walk + demotion scan for a *full* zcache
+        (the steady state, where no slot is ever empty).
+
+        Candidate discovery order and every state update are identical
+        to ``candidate_slots()`` followed by ``_replacement_index()``:
+        the walk reads only tag/position state while the scan writes
+        only partition state, so processing each candidate the moment
+        it is discovered cannot change what either pass observes.  The
+        fusion removes the second 52-iteration loop per miss.
+        """
+        pos_by_slot = array._pos_by_slot
+        gen = array._walk_gen + 1
+        array._walk_gen = gen
+        stamps = array._walk_stamp
+        r = array._r
+
         part_of = self.part_of
         line_ts = self.line_ts
         actual = self.actual_size
         target = self.target
+        cands_seen = self.cands_seen
+        current_ts = self.current_ts
+        keep_width = self.keep_width
+        cands_demoted = self.cands_demoted
+        demotions = self.demotions
         c_adjust = self.config.candidates_per_adjust
-
-        best_unmanaged: Candidate | None = None
+        lru_demotion = self._lru_demotion
+        plain_demote = self._plain_demote and self.demotion_hook is None
+        uts = self.unmanaged_ts
+        first_demoted = -1
+        best_unmanaged = -1
         best_unmanaged_age = -1
-        for cand in candidates:
-            slot = cand.slot
+
+        slots = array._walk_slots
+        slots.clear()
+        slots_append = slots.append
+        bounds = array._walk_bounds
+        bounds.clear()
+        bounds.hint = -1
+        first = array._position_cache.get(addr)
+        if first is None:
+            first = array.positions(addr)
+
+        n = 0
+        # First-level positions sit in distinct banks, so they never
+        # collide with each other: stamps are set but not checked.
+        # The per-candidate body below is duplicated in the expansion
+        # loop; keep the two copies in sync.
+        for slot in first:
+            stamps[slot] = gen
+            slots_append(slot)
             owner = part_of[slot]
             if owner == UNMANAGED:
-                age = (self.unmanaged_ts - line_ts[slot]) % TS_MOD
+                age = (uts - line_ts[slot]) & _TS_MASK
                 if age > best_unmanaged_age:
                     best_unmanaged_age = age
-                    best_unmanaged = cand
+                    best_unmanaged = n
+            else:
+                seen = cands_seen[owner] + 1
+                cands_seen[owner] = seen
+                if actual[owner] > target[owner]:
+                    if lru_demotion:
+                        demote = (
+                            (current_ts[owner] - line_ts[slot]) & _TS_MASK
+                        ) > keep_width[owner]
+                    else:
+                        demote = self._demotable(slot, owner)
+                    if demote:
+                        if plain_demote:
+                            actual[owner] -= 1
+                            cands_demoted[owner] += 1
+                            demotions[owner] += 1
+                            part_of[slot] = UNMANAGED
+                            line_ts[slot] = uts
+                            size = self.unmanaged_size + 1
+                            self.unmanaged_size = size
+                            count = self._unmanaged_counter + 1
+                            if size != self._utick_size:
+                                self._utick_size = size
+                                period = size >> 4
+                                self._utick_period = period if period > 0 else 1
+                            if count >= self._utick_period:
+                                self._unmanaged_counter = 0
+                                uts = (uts + 1) & _TS_MASK
+                                self.unmanaged_ts = uts
+                            else:
+                                self._unmanaged_counter = count
+                        else:
+                            self._demote(slot, owner)
+                            uts = self.unmanaged_ts
+                        if first_demoted < 0:
+                            first_demoted = n
+                if seen >= c_adjust:
+                    self._adjust_setpoint(owner)
+            n += 1
+
+        bounds.append(n)
+        level_start = 0
+        while n < r and level_start < n:
+            level_end = n
+            for pi in range(level_start, level_end):
+                for slot in pos_by_slot[slots[pi]]:
+                    if stamps[slot] != gen:
+                        stamps[slot] = gen
+                        slots_append(slot)
+                        owner = part_of[slot]
+                        if owner == UNMANAGED:
+                            age = (uts - line_ts[slot]) & _TS_MASK
+                            if age > best_unmanaged_age:
+                                best_unmanaged_age = age
+                                best_unmanaged = n
+                        else:
+                            seen = cands_seen[owner] + 1
+                            cands_seen[owner] = seen
+                            if actual[owner] > target[owner]:
+                                if lru_demotion:
+                                    demote = (
+                                        (current_ts[owner] - line_ts[slot])
+                                        & _TS_MASK
+                                    ) > keep_width[owner]
+                                else:
+                                    demote = self._demotable(slot, owner)
+                                if demote:
+                                    if plain_demote:
+                                        actual[owner] -= 1
+                                        cands_demoted[owner] += 1
+                                        demotions[owner] += 1
+                                        part_of[slot] = UNMANAGED
+                                        line_ts[slot] = uts
+                                        size = self.unmanaged_size + 1
+                                        self.unmanaged_size = size
+                                        count = self._unmanaged_counter + 1
+                                        if size != self._utick_size:
+                                            self._utick_size = size
+                                            period = size >> 4
+                                            self._utick_period = (
+                                                period if period > 0 else 1
+                                            )
+                                        if count >= self._utick_period:
+                                            self._unmanaged_counter = 0
+                                            uts = (uts + 1) & _TS_MASK
+                                            self.unmanaged_ts = uts
+                                        else:
+                                            self._unmanaged_counter = count
+                                    else:
+                                        self._demote(slot, owner)
+                                        uts = self.unmanaged_ts
+                                    if first_demoted < 0:
+                                        first_demoted = n
+                            if seen >= c_adjust:
+                                self._adjust_setpoint(owner)
+                        n += 1
+                        if n == r:
+                            break
+                if n == r:
+                    break
+            bounds.append(n)
+            if n == r:
+                break
+            level_start = level_end
+
+        if first_demoted < 0:
+            self._on_no_demotions(slots)
+
+        if best_unmanaged >= 0:
+            self.evictions_unmanaged += 1
+            self._evict_slot(slots[best_unmanaged])
+            index = best_unmanaged
+        else:
+            self.evictions_managed += 1
+            if first_demoted >= 0:
+                index = first_demoted
+            else:
+                over = [
+                    i
+                    for i, slot in enumerate(slots)
+                    if actual[part_of[slot]] > target[part_of[slot]]
+                ]
+                pool = over if over else range(len(slots))
+                index = max(pool, key=lambda i: self.staleness(slots[i]))
+                self._setpoint_demote_more(part_of[slots[index]])
+            self._evict_slot(slots[index])
+        victim = array.make_candidate(slots, bounds, index)
+        self._finish_install(addr, part, victim)
+
+    def _replacement_index(self, slots: list[int]) -> int:
+        """Demotion checks over all candidate slots, then victim
+        selection; returns the index of the victim in ``slots``."""
+        part_of = self.part_of
+        line_ts = self.line_ts
+        actual = self.actual_size
+        target = self.target
+        cands_seen = self.cands_seen
+        current_ts = self.current_ts
+        keep_width = self.keep_width
+        cands_demoted = self.cands_demoted
+        demotions = self.demotions
+        c_adjust = self.config.candidates_per_adjust
+        lru_demotion = self._lru_demotion
+        # Demotions can be inlined only while no measurement hook is
+        # installed (the hook can be set/cleared at runtime).
+        plain_demote = self._plain_demote and self.demotion_hook is None
+
+        first_demoted = -1
+        best_unmanaged = -1
+        best_unmanaged_age = -1
+        # unmanaged_ts must track _demote, which advances it mid-scan.
+        uts = self.unmanaged_ts
+        for i, slot in enumerate(slots):
+            owner = part_of[slot]
+            if owner == UNMANAGED:
+                age = (uts - line_ts[slot]) & _TS_MASK
+                if age > best_unmanaged_age:
+                    best_unmanaged_age = age
+                    best_unmanaged = i
                 continue
             # Managed candidate: demotion check.
-            self.cands_seen[owner] += 1
-            if actual[owner] > target[owner] and self._demotable(slot, owner):
-                self._demote(slot, owner)
-                demoted.append(cand)
-            if self.cands_seen[owner] >= c_adjust:
+            seen = cands_seen[owner] + 1
+            cands_seen[owner] = seen
+            if actual[owner] > target[owner]:
+                if lru_demotion:
+                    demote = (
+                        (current_ts[owner] - line_ts[slot]) & _TS_MASK
+                    ) > keep_width[owner]
+                else:
+                    demote = self._demotable(slot, owner)
+                if demote:
+                    if plain_demote:
+                        # _demote + _tick_unmanaged, inlined.
+                        actual[owner] -= 1
+                        cands_demoted[owner] += 1
+                        demotions[owner] += 1
+                        part_of[slot] = UNMANAGED
+                        line_ts[slot] = uts
+                        size = self.unmanaged_size + 1
+                        self.unmanaged_size = size
+                        count = self._unmanaged_counter + 1
+                        if size != self._utick_size:
+                            self._utick_size = size
+                            period = size >> 4
+                            self._utick_period = period if period > 0 else 1
+                        if count >= self._utick_period:
+                            self._unmanaged_counter = 0
+                            uts = (uts + 1) & _TS_MASK
+                            self.unmanaged_ts = uts
+                        else:
+                            self._unmanaged_counter = count
+                    else:
+                        self._demote(slot, owner)
+                        uts = self.unmanaged_ts
+                    if first_demoted < 0:
+                        first_demoted = i
+            if seen >= c_adjust:
                 self._adjust_setpoint(owner)
 
-        if not demoted:
-            self._on_no_demotions(candidates)
+        if first_demoted < 0:
+            self._on_no_demotions(slots)
 
-        if best_unmanaged is not None:
+        if best_unmanaged >= 0:
             self.evictions_unmanaged += 1
-            self._evict(best_unmanaged)
+            self._evict_slot(slots[best_unmanaged])
             return best_unmanaged
 
         # Forced eviction from the managed region (rare if u is sized
@@ -313,18 +610,18 @@ class VantageCache(PartitionedCache):
         # that partition's setpoint, since a forced eviction means its
         # demotions are lagging its churn.
         self.evictions_managed += 1
-        if demoted:
-            victim = demoted[0]
+        if first_demoted >= 0:
+            victim = first_demoted
         else:
             over = [
-                c
-                for c in candidates
-                if actual[part_of[c.slot]] > target[part_of[c.slot]]
+                i
+                for i, slot in enumerate(slots)
+                if actual[part_of[slot]] > target[part_of[slot]]
             ]
-            pool = over if over else candidates
-            victim = max(pool, key=lambda c: self.staleness(c.slot))
-            self._setpoint_demote_more(part_of[victim.slot])
-        self._evict(victim)
+            pool = over if over else range(len(slots))
+            victim = max(pool, key=lambda i: self.staleness(slots[i]))
+            self._setpoint_demote_more(part_of[slots[victim]])
+        self._evict_slot(slots[victim])
         return victim
 
     def _demotable(self, slot: int, owner: int) -> bool:
@@ -333,7 +630,7 @@ class VantageCache(PartitionedCache):
         dist = (self.current_ts[owner] - self.line_ts[slot]) % TS_MOD
         return dist > self.keep_width[owner]
 
-    def _on_no_demotions(self, candidates: list[Candidate]) -> None:
+    def _on_no_demotions(self, slots: list[int]) -> None:
         """Hook for base policies that must age lines when a full
         candidate pass demotes nothing (RRIP); LRU ages via time."""
 
@@ -348,8 +645,7 @@ class VantageCache(PartitionedCache):
         self.unmanaged_size += 1
         self._tick_unmanaged()
 
-    def _evict(self, victim: Candidate) -> None:
-        slot = victim.slot
+    def _evict_slot(self, slot: int) -> None:
         owner = self.part_of[slot]
         if owner == UNMANAGED:
             # Ownership was erased at demotion time; unmanaged
@@ -368,16 +664,33 @@ class VantageCache(PartitionedCache):
         moves = self.array.install(addr, victim)
         part_of = self.part_of
         line_ts = self.line_ts
-        for src, dst in moves:
-            part_of[dst] = part_of[src]
-            part_of[src] = None
-            line_ts[dst] = line_ts[src]
-            self._move_line_state(src, dst)
+        if moves:
+            move_hook = self._has_move_hook
+            for src, dst in moves:
+                part_of[dst] = part_of[src]
+                part_of[src] = None
+                line_ts[dst] = line_ts[src]
+                if move_hook:
+                    self._move_line_state(src, dst)
         landing = victim.path[0]
         part_of[landing] = part
-        self._set_inserted_line_state(landing, part, addr)
-        self.actual_size[part] += 1
-        self._tick(part)
+        if self._plain_insert:
+            line_ts[landing] = self.current_ts[part]
+        else:
+            self._set_inserted_line_state(landing, part, addr)
+        size = self.actual_size[part] + 1
+        self.actual_size[part] = size
+        # _tick(part), inlined: this runs once per miss.
+        count = self.access_counter[part] + 1
+        if size != self._tick_size[part]:
+            self._tick_size[part] = size
+            period = size >> 4
+            self._tick_period[part] = period if period > 0 else 1
+        if count >= self._tick_period[part]:
+            self.access_counter[part] = 0
+            self.current_ts[part] = (self.current_ts[part] + 1) & _TS_MASK
+        else:
+            self.access_counter[part] = count
 
     def _move_line_state(self, src: int, dst: int) -> None:
         """Hook: relocate extra per-line base-policy state (RRPVs)."""

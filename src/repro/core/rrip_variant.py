@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 
-from repro.arrays.base import CacheArray, Candidate
+from repro.arrays.base import CacheArray
 from repro.core.cache import UNMANAGED, VantageCache
 from repro.core.config import VantageConfig
 from repro.replacement.rrip import (
@@ -96,18 +96,18 @@ class VantageDRRIPCache(VantageCache):
         if self.setpoint_rrpv[part] > 1:
             self.setpoint_rrpv[part] -= 1
 
-    def _on_no_demotions(self, candidates: list[Candidate]) -> None:
+    def _on_no_demotions(self, slots: list[int]) -> None:
         """RRIP aging, restricted to partitions above target size."""
         rrpv = self.rrpv
         part_of = self.part_of
         actual = self.actual_size
         target = self.target
-        for cand in candidates:
-            owner = part_of[cand.slot]
+        for slot in slots:
+            owner = part_of[slot]
             if owner is None or owner == UNMANAGED:
                 continue
-            if actual[owner] > target[owner] and rrpv[cand.slot] < RRPV_MAX:
-                rrpv[cand.slot] += 1
+            if actual[owner] > target[owner] and rrpv[slot] < RRPV_MAX:
+                rrpv[slot] += 1
 
     # ------------------------------------------------------------------
     # Per-partition SRRIP/BRRIP duelling.

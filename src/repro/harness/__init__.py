@@ -11,6 +11,7 @@ from repro.harness.env import (
     instructions_per_app,
     mixes_per_class,
 )
+from repro.harness.parallel import SimJob, SimOutcome, default_workers, run_jobs
 from repro.harness.runner import MixRun, build_policy, relative_throughputs, run_mix
 from repro.harness.schemes import build_array, build_cache, default_vantage_config
 from repro.harness.tables import (
@@ -25,6 +26,8 @@ __all__ = [
     "PAPER_EPOCH_CYCLES",
     "PAPER_INSTRUCTIONS",
     "PAPER_MIXES_PER_CLASS",
+    "SimJob",
+    "SimOutcome",
     "build_array",
     "build_cache",
     "build_policy",
@@ -32,6 +35,7 @@ __all__ = [
     "classify_app",
     "classify_curve",
     "default_vantage_config",
+    "default_workers",
     "distribution_row",
     "env_int",
     "epoch_cycles",
@@ -41,6 +45,7 @@ __all__ = [
     "mixes_per_class",
     "mpki_curve",
     "relative_throughputs",
+    "run_jobs",
     "run_mix",
     "save_results",
 ]

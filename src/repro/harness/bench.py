@@ -1,0 +1,151 @@
+"""``repro bench``: timed comparison of the optimized simulation
+kernels against the reference (pre-optimization) implementations.
+
+The pinned micro-benchmark is the paper's headline kernel: the
+``sftn1`` 4-core mix on the 2 MB small system under Vantage-Z4/52 --
+the configuration that exercises the zcache replacement walk and the
+Vantage demotion scan hardest.  ``lru-sa16`` rides along as a
+secondary kernel covering the baseline-cache miss path.  120 000
+instructions per core is enough to take the L2 from cold through its
+high-occupancy steady state (including forced managed evictions)
+while keeping a bench run under a minute.
+
+Both sides of each kernel run in this process, best-of-``rounds``,
+and their :class:`~repro.sim.system.SystemResult`s are asserted
+*equal*: the optimizations are strength reductions, not behaviour
+changes, so any divergence fails the bench run loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.harness.runner import build_policy
+from repro.harness.schemes import build_cache
+from repro.sim import CMPSystem
+from repro.sim.configs import small_system
+from repro.sim.reference import (
+    as_reference_cache,
+    as_reference_policy,
+    reference_run,
+)
+from repro.workloads import make_mix
+
+#: The pinned micro-benchmark (do not change without re-baselining).
+MIX_CLASS = "sftn"
+MIX_INDEX = 1
+SEED = 0
+INSTRUCTIONS = 120_000
+ROUNDS = 3
+SMOKE_INSTRUCTIONS = 15_000
+
+#: (scheme, partitioned) kernels; the first entry is the headline.
+KERNELS = (
+    ("vantage-z4/52", True),
+    ("lru-sa16", False),
+)
+
+
+def _run_once(scheme: str, partitioned: bool, instructions: int, reference: bool):
+    """Build a fresh system and time one simulation of the kernel."""
+    config = small_system()
+    mix = make_mix(MIX_CLASS, MIX_INDEX)
+    cache = build_cache(scheme, config.l2_lines, config.num_cores, seed=SEED)
+    policy = build_policy(cache, config, SEED) if partitioned else None
+    if reference:
+        as_reference_cache(cache)
+        if policy is not None:
+            as_reference_policy(policy)
+    system = CMPSystem(cache, mix.trace_factories(SEED), config, policy=policy)
+    start = time.perf_counter()
+    if reference:
+        result = reference_run(system, instructions)
+    else:
+        result = system.run(instructions)
+    return time.perf_counter() - start, result
+
+
+def bench_kernel(
+    scheme: str, partitioned: bool, instructions: int, rounds: int
+) -> dict:
+    """Best-of-``rounds`` times for both kernel implementations."""
+    opt_best = ref_best = None
+    opt_result = ref_result = None
+    for _ in range(rounds):
+        elapsed, opt_result = _run_once(scheme, partitioned, instructions, False)
+        if opt_best is None or elapsed < opt_best:
+            opt_best = elapsed
+        elapsed, ref_result = _run_once(scheme, partitioned, instructions, True)
+        if ref_best is None or elapsed < ref_best:
+            ref_best = elapsed
+    identical = opt_result == ref_result
+    return {
+        "scheme": scheme,
+        "instructions": instructions,
+        "rounds": rounds,
+        "optimized_s": round(opt_best, 4),
+        "reference_s": round(ref_best, 4),
+        "speedup": round(ref_best / opt_best, 3) if opt_best else 0.0,
+        "identical": identical,
+    }
+
+
+def run_bench(
+    smoke: bool = False,
+    tag: str | None = None,
+    rounds: int | None = None,
+    instructions: int | None = None,
+    out_dir: str | Path = ".",
+) -> dict:
+    """Run the kernel set, print a table, write ``BENCH_<tag>.json``.
+
+    ``smoke`` shrinks the run to a correctness check (fewer
+    instructions, one round) for CI; timing ratios from a smoke run
+    are not meaningful.
+    """
+    if instructions is None:
+        instructions = SMOKE_INSTRUCTIONS if smoke else INSTRUCTIONS
+    if rounds is None:
+        rounds = 1 if smoke else ROUNDS
+    if tag is None:
+        tag = "smoke" if smoke else "local"
+
+    kernels = [
+        bench_kernel(scheme, partitioned, instructions, rounds)
+        for scheme, partitioned in KERNELS
+    ]
+    report = {
+        "tag": tag,
+        "smoke": smoke,
+        "pinned": {
+            "mix": f"{MIX_CLASS}{MIX_INDEX}",
+            "system": "small (2MB L2, 4 cores)",
+            "instructions": instructions,
+            "seed": SEED,
+        },
+        "kernels": kernels,
+    }
+
+    print(f"repro bench ({'smoke, ' if smoke else ''}{instructions} instrs/core, "
+          f"best of {rounds})")
+    print(f"{'kernel':>16s} {'reference':>10s} {'optimized':>10s} "
+          f"{'speedup':>8s} {'identical':>10s}")
+    for row in kernels:
+        print(
+            f"{row['scheme']:>16s} {row['reference_s']:>9.3f}s "
+            f"{row['optimized_s']:>9.3f}s {row['speedup']:>7.2f}x "
+            f"{str(row['identical']):>10s}"
+        )
+
+    path = Path(out_dir) / f"BENCH_{tag}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {path}")
+
+    mismatched = [row["scheme"] for row in kernels if not row["identical"]]
+    if mismatched:
+        raise AssertionError(
+            f"optimized and reference kernels diverge on: {', '.join(mismatched)}"
+        )
+    return report

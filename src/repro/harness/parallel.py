@@ -1,0 +1,141 @@
+"""Parallel experiment execution.
+
+Every figure in the paper is an embarrassingly parallel sweep: many
+independent ``run_mix`` simulations whose results are only combined
+at the end.  This module expresses one simulation as a picklable
+:class:`SimJob`, fans a job list over a ``ProcessPoolExecutor``, and
+memoises outcomes through :mod:`repro.harness.results_cache`.
+
+Determinism: a job carries every input that influences its
+simulation -- including all seeds -- and workers run exactly the same
+:func:`~repro.harness.runner.run_mix` code path as a serial call, so
+``run_jobs`` output is bitwise-identical to running each job serially
+(asserted by ``tests/harness/test_parallel.py``).  Duplicate jobs are
+deduplicated before submission, which is also what lets a sweep share
+one baseline simulation across schemes.
+
+Environment knobs:
+
+- ``REPRO_WORKERS``: worker process count (default: CPU count).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.analysis.stats import SizeTimeSeries
+from repro.core import VantageConfig
+from repro.harness import results_cache
+from repro.sim import SystemConfig, SystemResult
+from repro.workloads import Mix
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One simulation, fully described by picklable values.
+
+    Mirrors the signature of :func:`~repro.harness.runner.run_mix`;
+    ``vantage_config`` overrides the scheme's default Vantage
+    parameters (Figure 9's u-sweep).
+    """
+
+    mix: Mix
+    scheme: str
+    config: SystemConfig
+    instructions: int
+    seed: int = 0
+    partitioned: bool | None = None
+    size_sample_cycles: int | None = None
+    use_l1: bool = False
+    vantage_config: VantageConfig | None = None
+
+
+@dataclass
+class SimOutcome:
+    """The picklable portion of a simulation's products.
+
+    Live ``cache``/``system`` objects stay in the worker; figures
+    consume the result, the Figure-8 size series, and the Figure-9
+    managed-eviction fraction.
+    """
+
+    result: SystemResult
+    size_series: SizeTimeSeries | None = None
+    managed_eviction_fraction: float | None = None
+
+
+def default_workers() -> int:
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _execute(job: SimJob) -> SimOutcome:
+    """Run one job (in a worker process or inline)."""
+    from repro.harness.runner import run_mix
+
+    run = run_mix(
+        job.mix,
+        job.scheme,
+        job.config,
+        job.instructions,
+        seed=job.seed,
+        partitioned=job.partitioned,
+        size_sample_cycles=job.size_sample_cycles,
+        use_l1=job.use_l1,
+        vantage_config=job.vantage_config,
+    )
+    fraction = None
+    cache = run.cache
+    if hasattr(cache, "managed_eviction_fraction"):
+        fraction = cache.managed_eviction_fraction()
+    return SimOutcome(
+        result=run.result,
+        size_series=run.size_series,
+        managed_eviction_fraction=fraction,
+    )
+
+
+def run_jobs(
+    jobs: list[SimJob],
+    workers: int | None = None,
+    use_cache: bool = True,
+) -> list[SimOutcome]:
+    """Run ``jobs`` and return their outcomes in job order.
+
+    Identical jobs are simulated once; results already in the on-disk
+    cache are not simulated at all.  ``workers=1`` (or a single
+    pending job) runs inline, with no worker processes.
+    """
+    keys = [results_cache.job_key(job) for job in jobs]
+    outcomes: dict[str, SimOutcome] = {}
+    pending: list[tuple[str, SimJob]] = []
+    seen: set[str] = set()
+    for key, job in zip(keys, jobs):
+        if key in seen:
+            continue
+        seen.add(key)
+        cached = results_cache.load(key) if use_cache else None
+        if cached is not None:
+            outcomes[key] = cached
+        else:
+            pending.append((key, job))
+
+    if pending:
+        if workers is None:
+            workers = default_workers()
+        workers = min(workers, len(pending))
+        if workers <= 1:
+            fresh = [_execute(job) for _, job in pending]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(_execute, (job for _, job in pending)))
+        for (key, _), outcome in zip(pending, fresh):
+            outcomes[key] = outcome
+            if use_cache:
+                results_cache.store(key, outcome)
+
+    return [outcomes[key] for key in keys]

@@ -1,0 +1,107 @@
+"""Content-addressed on-disk cache of simulation results.
+
+A simulation is a pure function of its job description (mix, scheme,
+system config, instruction budget, seeds and knobs), so its outcome
+can be memoised on disk: re-running a figure after editing plotting
+or analysis code costs nothing, and a mix suite interrupted halfway
+resumes where it stopped.
+
+Keys are SHA-256 digests of a canonical JSON encoding of the job
+(plus ``CACHE_VERSION``); payloads are pickled
+:class:`~repro.harness.parallel.SimOutcome` objects.  Bump
+``CACHE_VERSION`` whenever a change alters simulation *behaviour*
+(not just speed) so stale entries can never be returned.
+
+Environment knobs:
+
+- ``REPRO_CACHE_DIR``: cache directory (default ``results/cache``).
+- ``REPRO_RESULTS_CACHE=0``: disable reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+#: Bump when simulation behaviour changes (results would differ).
+CACHE_VERSION = 1
+
+_DEFAULT_DIR = Path("results") / "cache"
+
+
+def cache_enabled() -> bool:
+    return os.environ.get("REPRO_RESULTS_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    override = os.environ.get("REPRO_CACHE_DIR")
+    return Path(override) if override else _DEFAULT_DIR
+
+
+def _canonical(value):
+    """Reduce a job field to canonically-JSON-encodable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"job field of type {type(value).__name__} is not cacheable")
+
+
+def job_key(job) -> str:
+    """Stable content hash identifying ``job``'s simulation."""
+    payload = {"version": CACHE_VERSION, "job": _canonical(job)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _entry_path(key: str) -> Path:
+    # Two-level fan-out keeps directory listings manageable.
+    return cache_dir() / key[:2] / f"{key}.pkl"
+
+
+def load(key: str):
+    """The cached outcome for ``key``, or ``None``."""
+    if not cache_enabled():
+        return None
+    path = _entry_path(key)
+    try:
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except (pickle.UnpicklingError, EOFError, AttributeError):
+        # Torn write or stale class layout: drop the entry.
+        path.unlink(missing_ok=True)
+        return None
+
+
+def store(key: str, outcome) -> None:
+    """Persist ``outcome`` under ``key`` (atomic, best-effort)."""
+    if not cache_enabled():
+        return
+    path = _entry_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        # A full or read-only disk must not fail the simulation.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass

@@ -63,18 +63,27 @@ def run_mix(
     partitioned: bool | None = None,
     size_sample_cycles: int | None = None,
     use_l1: bool = False,
+    vantage_config=None,
 ) -> MixRun:
     """Simulate ``mix`` under ``scheme``.
 
     ``partitioned=None`` infers it from the scheme name: baseline
     policies run without UCP, partitioning schemes with it.
+    ``vantage_config`` overrides the Vantage parameters derived from
+    the scheme name (Figure 9's unmanaged-region sweep).
     """
     if mix.num_cores != config.num_cores:
         raise ValueError(
             f"mix {mix.name} has {mix.num_cores} apps but the system has "
             f"{config.num_cores} cores"
         )
-    cache = build_cache(scheme, config.l2_lines, config.num_cores, seed=seed)
+    cache = build_cache(
+        scheme,
+        config.l2_lines,
+        config.num_cores,
+        seed=seed,
+        vantage_config=vantage_config,
+    )
     if partitioned is None:
         partitioned = any(
             scheme.lower().startswith(prefix)
@@ -104,13 +113,31 @@ def relative_throughputs(
     config: SystemConfig,
     instructions: int,
     seed: int = 0,
+    workers: int | None = None,
 ) -> dict[str, list[float]]:
     """Throughput of each scheme on each mix, normalised to the
-    baseline scheme on the same mix (Fig 6a / Fig 7 data)."""
+    baseline scheme on the same mix (Fig 6a / Fig 7 data).
+
+    All ``(mix, scheme)`` simulations -- baseline included -- are
+    submitted as one parallel batch; job deduplication means a
+    baseline that also appears in ``schemes`` is simulated once.
+    Results are bitwise-identical to running every pair serially.
+    """
+    from repro.harness.parallel import SimJob, run_jobs
+
+    columns = [baseline] + list(schemes)
+    jobs = [
+        SimJob(mix, scheme, config, instructions, seed)
+        for mix in mixes
+        for scheme in columns
+    ]
+    outcomes = run_jobs(jobs, workers=workers)
+    width = len(columns)
     out: dict[str, list[float]] = {scheme: [] for scheme in schemes}
-    for mix in mixes:
-        base = run_mix(mix, baseline, config, instructions, seed).result.throughput
-        for scheme in schemes:
-            res = run_mix(mix, scheme, config, instructions, seed).result.throughput
-            out[scheme].append(res / base if base else 0.0)
+    for m, mix in enumerate(mixes):
+        row = outcomes[m * width : (m + 1) * width]
+        base = row[0].result.throughput
+        for scheme, outcome in zip(schemes, row[1:]):
+            thr = outcome.result.throughput
+            out[scheme].append(thr / base if base else 0.0)
     return out

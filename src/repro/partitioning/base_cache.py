@@ -94,6 +94,9 @@ class PartitionedCache(ABC):
         self.stats = CacheStats(num_partitions)
         self.part_of: list[int | None] = [None] * array.num_lines
         self._sizes = [0] * num_partitions
+        # Bound tag-lookup for the access hot path (the array's
+        # _slot_of dict is created once and never replaced).
+        self._lookup = array._slot_of.get
         #: Optional measurement hook called as ``fn(victim_slot, victim_part)``
         #: immediately *before* an occupied victim is evicted.
         self.eviction_hook: Callable[[int, int], None] | None = None
@@ -200,18 +203,38 @@ class BaselineCache(PartitionedCache):
 
     def access(self, addr: int, part: int = 0) -> bool:
         array = self.array
-        slot = array.lookup(addr)
+        st = self.stats
+        slot = self._lookup(addr)
         if slot is not None:
             self.policy.on_hit(slot, part, addr)
-            self._record_access(part, hit=True)
+            st.accesses[part] += 1
+            st.hits[part] += 1
             return True
 
-        self._record_access(part, hit=False)
-        candidates = array.candidates(addr)
-        victim = self._first_empty(candidates)
-        if victim is None:
-            victim = self.policy.select_victim(candidates)
-            self._evict_bookkeeping(victim)
+        st.accesses[part] += 1
+        st.misses[part] += 1
+        fast = array.candidate_slots(addr)
+        if fast is not None:
+            slots, parents, has_empty = fast
+            if has_empty:
+                victim = array.make_candidate(slots, parents, len(slots) - 1)
+            else:
+                index = self.policy.select_victim_index(slots)
+                if index is None:
+                    candidates = [
+                        array.make_candidate(slots, parents, i)
+                        for i in range(len(slots))
+                    ]
+                    victim = self.policy.select_victim(candidates)
+                else:
+                    victim = array.make_candidate(slots, parents, index)
+                self._evict_bookkeeping(victim)
+        else:
+            candidates = array.candidates(addr)
+            victim = self._first_empty(candidates)
+            if victim is None:
+                victim = self.policy.select_victim(candidates)
+                self._evict_bookkeeping(victim)
         moves = array.install(addr, victim)
         for src, dst in moves:
             self.policy.on_move(src, dst)

@@ -46,6 +46,19 @@ class ReplacementPolicy(ABC):
     def select_victim(self, candidates: list[Candidate]) -> Candidate:
         """Choose the line to evict among occupied ``candidates``."""
 
+    def select_victim_index(self, slots: list[int]) -> int | None:
+        """Fast-path victim selection over plain slot indices.
+
+        ``slots`` are all occupied (the caller installs into empties
+        before consulting the policy).  Returns the victim's index in
+        ``slots``, or ``None`` when the policy has no fast path, in
+        which case callers fall back to :meth:`select_victim` with
+        materialised candidates.  Must behave exactly like
+        ``select_victim`` on the same (fully occupied) candidate list,
+        including any state mutation and RNG consumption.
+        """
+        return None
+
     def on_move(self, src: int, dst: int) -> None:
         """The line at ``src`` was relocated to ``dst`` (zcache walks)."""
 

@@ -55,6 +55,19 @@ class CoarseLRUPolicy(SlotStatePolicy):
             key=lambda c: (current - state[c.slot]) % TIMESTAMP_MOD,
         )
 
+    def select_victim_index(self, slots: list[int]) -> int:
+        # max() keeps the first of equals, like select_victim.
+        current = self.current_ts
+        state = self.state
+        best = 0
+        best_age = (current - state[slots[0]]) % TIMESTAMP_MOD
+        for i in range(1, len(slots)):
+            age = (current - state[slots[i]]) % TIMESTAMP_MOD
+            if age > best_age:
+                best_age = age
+                best = i
+        return best
+
 
 class PerfectLRUPolicy(SlotStatePolicy):
     """Exact LRU via a monotonically increasing access counter."""
@@ -82,3 +95,14 @@ class PerfectLRUPolicy(SlotStatePolicy):
             (c for c in candidates if c.addr is not None),
             key=lambda c: state[c.slot],
         )
+
+    def select_victim_index(self, slots: list[int]) -> int:
+        state = self.state
+        best = 0
+        best_clock = state[slots[0]]
+        for i in range(1, len(slots)):
+            clock = state[slots[i]]
+            if clock < best_clock:
+                best_clock = clock
+                best = i
+        return best

@@ -38,6 +38,17 @@ class LFUPolicy(SlotStatePolicy):
             key=lambda c: state[c.slot],
         )
 
+    def select_victim_index(self, slots: list[int]) -> int:
+        state = self.state
+        best = 0
+        best_count = state[slots[0]]
+        for i in range(1, len(slots)):
+            count = state[slots[i]]
+            if count < best_count:
+                best_count = count
+                best = i
+        return best
+
 
 class RandomPolicy(SlotStatePolicy):
     """Uniformly random victim selection."""
@@ -57,3 +68,8 @@ class RandomPolicy(SlotStatePolicy):
     def select_victim(self, candidates: list[Candidate]) -> Candidate:
         occupied = [c for c in candidates if c.addr is not None]
         return self._rng.choice(occupied)
+
+    def select_victim_index(self, slots: list[int]) -> int:
+        # choice(seq) draws one _randbelow(len(seq)), so RNG
+        # consumption matches select_victim on the same-length list.
+        return self._rng.choice(range(len(slots)))

@@ -61,6 +61,15 @@ class _RRIPBase(SlotStatePolicy):
             for cand in occupied:
                 state[cand.slot] += 1
 
+    def select_victim_index(self, slots: list[int]) -> int:
+        state = self.state
+        while True:
+            for i, slot in enumerate(slots):
+                if state[slot] >= RRPV_MAX:
+                    return i
+            for slot in slots:
+                state[slot] += 1
+
     # Insertion RRPVs used by the concrete policies.
 
     def _insert_srrip(self, slot: int) -> None:

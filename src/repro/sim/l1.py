@@ -12,6 +12,8 @@ from __future__ import annotations
 class L1Cache:
     """Set-associative LRU L1 (32 KB, 4-way by default)."""
 
+    __slots__ = ("num_sets", "num_ways", "_mask", "_sets", "accesses", "misses")
+
     def __init__(self, size_bytes: int = 32 * 1024, num_ways: int = 4, line_bytes: int = 64):
         num_lines = size_bytes // line_bytes
         if num_lines % num_ways:

@@ -13,6 +13,15 @@ from __future__ import annotations
 class MemoryModel:
     """Bandwidth-limited multi-controller memory."""
 
+    __slots__ = (
+        "num_controllers",
+        "latency",
+        "service_cycles",
+        "_free_at",
+        "requests",
+        "total_queue_cycles",
+    )
+
     def __init__(
         self,
         num_controllers: int = 4,

@@ -1,0 +1,266 @@
+"""Reference (pre-optimization) simulation kernels.
+
+The hot paths of the simulator -- the zcache replacement walk, the
+Vantage demotion scan and the CMP event loop -- were rewritten for
+speed (see ``repro bench``).  This module preserves the original,
+straightforward implementations:
+
+- :func:`reference_run` is the original heap-based event loop of
+  :meth:`repro.sim.system.CMPSystem.run`;
+- :class:`ReferenceVantageCache` is the original miss path of
+  :class:`repro.core.cache.VantageCache`, driven by full
+  :class:`~repro.arrays.base.Candidate` lists;
+- :class:`ReferenceBaselineCache` is the original miss path of
+  :class:`~repro.partitioning.base_cache.BaselineCache`.
+
+They serve two purposes.  ``repro bench`` times the optimized kernels
+against these to report the measured speedup, and the parity tests
+(``tests/sim/test_reference_parity.py``) assert that both
+implementations produce *identical* :class:`SystemResult`s -- the
+optimizations are pure strength reductions, not behaviour changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.allocation.ucp import UCPPolicy
+from repro.allocation.umon import UMonitor
+from repro.arrays.base import Candidate
+from repro.core.cache import VantageCache
+from repro.partitioning.base_cache import BaselineCache
+from repro.sim.system import CoreResult, SystemResult
+
+
+class ReferenceVantageCache(VantageCache):
+    """Vantage controller with the original candidate-list miss path."""
+
+    def _miss(self, addr: int, part: int) -> None:
+        array = self.array
+        candidates = array.candidates(addr)
+        victim = self._first_empty(candidates)
+        demoted_this_miss: list[Candidate] = []
+        if victim is None:
+            victim = self._reference_replacement(candidates, demoted_this_miss)
+        self._finish_install(addr, part, victim)
+
+    def _reference_replacement(
+        self, candidates: list[Candidate], demoted: list[Candidate]
+    ) -> Candidate:
+        """Demotion checks over all candidates, then victim selection."""
+        part_of = self.part_of
+        line_ts = self.line_ts
+        actual = self.actual_size
+        target = self.target
+        c_adjust = self.config.candidates_per_adjust
+        UNMANAGED = -1
+        TS_MOD = 256
+
+        best_unmanaged: Candidate | None = None
+        best_unmanaged_age = -1
+        for cand in candidates:
+            slot = cand.slot
+            owner = part_of[slot]
+            if owner == UNMANAGED:
+                age = (self.unmanaged_ts - line_ts[slot]) % TS_MOD
+                if age > best_unmanaged_age:
+                    best_unmanaged_age = age
+                    best_unmanaged = cand
+                continue
+            self.cands_seen[owner] += 1
+            if actual[owner] > target[owner] and self._demotable(slot, owner):
+                self._demote(slot, owner)
+                demoted.append(cand)
+            if self.cands_seen[owner] >= c_adjust:
+                self._adjust_setpoint(owner)
+
+        if not demoted:
+            self._on_no_demotions([c.slot for c in candidates])
+
+        if best_unmanaged is not None:
+            self.evictions_unmanaged += 1
+            self._evict_slot(best_unmanaged.slot)
+            return best_unmanaged
+
+        self.evictions_managed += 1
+        if demoted:
+            victim = demoted[0]
+        else:
+            over = [
+                c
+                for c in candidates
+                if actual[part_of[c.slot]] > target[part_of[c.slot]]
+            ]
+            pool = over if over else candidates
+            victim = max(pool, key=lambda c: self.staleness(c.slot))
+            self._setpoint_demote_more(part_of[victim.slot])
+        self._evict_slot(victim.slot)
+        return victim
+
+
+class ReferenceBaselineCache(BaselineCache):
+    """Unpartitioned baseline with the original candidate-list miss path."""
+
+    def access(self, addr: int, part: int = 0) -> bool:
+        array = self.array
+        slot = array.lookup(addr)
+        if slot is not None:
+            self.policy.on_hit(slot, part, addr)
+            self._record_access(part, hit=True)
+            return True
+
+        self._record_access(part, hit=False)
+        candidates = array.candidates(addr)
+        victim = self._first_empty(candidates)
+        if victim is None:
+            victim = self.policy.select_victim(candidates)
+            self._evict_bookkeeping(victim)
+        moves = array.install(addr, victim)
+        for src, dst in moves:
+            self.policy.on_move(src, dst)
+        landing = self._install_bookkeeping(addr, part, victim, moves)
+        self.policy.on_insert(landing, part, addr)
+        return False
+
+
+class ReferenceUMonitor(UMonitor):
+    """UMON with the original access path: the set-index hash is
+    recomputed on every observed access (no per-address sample
+    cache).  Counts are identical; only the cost differs."""
+
+    def access(self, addr: int) -> None:
+        set_index = self._hash(addr)
+        if set_index % self._period:
+            return
+        self.accesses += 1
+        stack = self._stacks.get(set_index)
+        if stack is None:
+            stack = []
+            self._stacks[set_index] = stack
+        try:
+            position = stack.index(addr)
+        except ValueError:
+            stack.insert(0, addr)
+            if len(stack) > self.num_ways:
+                stack.pop()
+            return
+        self.hits[position] += 1
+        del stack[position]
+        stack.insert(0, addr)
+
+
+class ReferenceUCPPolicy(UCPPolicy):
+    """UCP policy with the original unconditional observe path."""
+
+    def observe(self, part: int, addr: int) -> None:
+        self.monitors[part].access(addr)
+
+
+def as_reference_policy(policy: UCPPolicy) -> UCPPolicy:
+    """Rebind a UCP policy and its monitors to the reference paths."""
+    policy.__class__ = ReferenceUCPPolicy
+    for monitor in policy.monitors:
+        monitor.__class__ = ReferenceUMonitor
+    return policy
+
+
+#: Cache classes with a faithful reference implementation, used by
+#: ``repro bench`` to rebuild a scheme on the reference miss path.
+REFERENCE_CACHE_CLASSES = {
+    VantageCache: ReferenceVantageCache,
+    BaselineCache: ReferenceBaselineCache,
+}
+
+
+def as_reference_cache(cache):
+    """Rebind ``cache`` to its reference implementation.
+
+    The reference subclasses add behaviour only (no extra state), so a
+    freshly built cache can be switched onto the original miss path by
+    re-typing it.  Raises for schemes without a reference twin.
+    """
+    ref_cls = REFERENCE_CACHE_CLASSES.get(type(cache))
+    if ref_cls is None:
+        raise ValueError(
+            f"no reference implementation for {type(cache).__name__}"
+        )
+    cache.__class__ = ref_cls
+    return cache
+
+
+def reference_run(system, instructions_per_core: int) -> SystemResult:
+    """The original heap-based event loop (pre-optimization).
+
+    Behaviourally identical to :meth:`CMPSystem.run`; kept as the
+    timing baseline for ``repro bench`` and as the oracle for the
+    scheduler-equivalence tests.
+    """
+    config = system.config
+    cache = system.cache
+    policy = system.policy
+    memory = system.memory
+    l1s = system.l1s
+    hit_latency = config.l2_hit_latency
+
+    num_cores = config.num_cores
+    iterators = [factory() for factory in system.trace_factories]
+    instructions = [0] * num_cores
+    instructions_at_finish = [0] * num_cores
+    finished_at: list[float | None] = [None] * num_cores
+    unfinished = num_cores
+
+    heap: list[tuple[float, int]] = [(0.0, cid) for cid in range(num_cores)]
+    heapq.heapify(heap)
+    next_epoch = float(config.epoch_cycles)
+    sample_period = system.size_sample_cycles
+    next_sample = float(sample_period) if sample_period else None
+    now = 0.0
+
+    while unfinished:
+        now, cid = heapq.heappop(heap)
+        if policy is not None and now >= next_epoch:
+            system._repartition()
+            while now >= next_epoch:
+                next_epoch += config.epoch_cycles
+        if next_sample is not None and now >= next_sample:
+            system.size_series.sample(
+                int(now), system._target_lines(), cache.partition_sizes()
+            )
+            while now >= next_sample:
+                next_sample += sample_period
+
+        try:
+            gap, addr = next(iterators[cid])
+        except StopIteration:
+            iterators[cid] = system.trace_factories[cid]()
+            gap, addr = next(iterators[cid])
+
+        instructions[cid] += gap + 1
+        t = now + gap + 1
+
+        if l1s is not None and l1s[cid].access(addr):
+            pass  # L1 hit: fully pipelined, no stall.
+        else:
+            if policy is not None:
+                policy.observe(cid, addr)
+            if cache.access(addr, cid):
+                t += hit_latency
+            else:
+                t += hit_latency + memory.request(addr, t)
+
+        if finished_at[cid] is None and instructions[cid] >= instructions_per_core:
+            finished_at[cid] = t
+            instructions_at_finish[cid] = instructions[cid]
+            unfinished -= 1
+        heapq.heappush(heap, (t, cid))
+
+    cores = [
+        CoreResult(
+            instructions=instructions_at_finish[cid],
+            cycles=now,
+            finished_at=finished_at[cid],
+        )
+        for cid in range(num_cores)
+    ]
+    miss_rates = [cache.stats.miss_rate(p) for p in range(cache.num_partitions)]
+    return SystemResult(cores=cores, total_cycles=now, l2_miss_rates=miss_rates)

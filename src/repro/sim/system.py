@@ -140,65 +140,112 @@ class CMPSystem:
     def run(self, instructions_per_core: int) -> SystemResult:
         """Simulate until every core has executed the target
         instruction count; IPC is measured at each core's crossing
-        point, as in the paper."""
+        point, as in the paper.
+
+        This is the optimized event loop (the original is preserved as
+        :func:`repro.sim.reference.reference_run`); both produce
+        identical results, which ``tests/sim/test_reference_parity.py``
+        asserts.  Cores with few peers are scheduled by a linear argmin
+        scan instead of a heap -- strict ``<`` picks the lowest core ID
+        among ties, matching the ``(t, cid)`` heap ordering -- and the
+        epoch/sample checks collapse into one ``next_service`` compare
+        per event.
+        """
         config = self.config
         cache = self.cache
         policy = self.policy
         memory = self.memory
         l1s = self.l1s
         hit_latency = config.l2_hit_latency
+        epoch_cycles = config.epoch_cycles
 
         num_cores = config.num_cores
-        iterators = [factory() for factory in self.trace_factories]
+        trace_factories = self.trace_factories
+        iterators = [factory() for factory in trace_factories]
+        nexts = [it.__next__ for it in iterators]
         instructions = [0] * num_cores
         instructions_at_finish = [0] * num_cores
         finished_at: list[float | None] = [None] * num_cores
         unfinished = num_cores
 
-        heap: list[tuple[float, int]] = [(0.0, cid) for cid in range(num_cores)]
-        heapq.heapify(heap)
-        next_epoch = float(config.epoch_cycles)
+        inf = float("inf")
+        next_epoch = float(epoch_cycles) if policy is not None else inf
         sample_period = self.size_sample_cycles
-        next_sample = float(sample_period) if sample_period else None
+        next_sample = float(sample_period) if sample_period else inf
+        next_service = next_epoch if next_epoch < next_sample else next_sample
         now = 0.0
 
+        cache_access = cache.access
+        mem_request = memory.request
+        observe = policy.observe if policy is not None else None
+
+        times = [0.0] * num_cores
+        use_heap = num_cores > 8
+        if use_heap:
+            heap: list[tuple[float, int]] = [
+                (0.0, cid) for cid in range(num_cores)
+            ]
+            heapq.heapify(heap)
+            heappush = heapq.heappush
+            heappop = heapq.heappop
+
         while unfinished:
-            now, cid = heapq.heappop(heap)
-            if policy is not None and now >= next_epoch:
-                self._repartition()
-                while now >= next_epoch:
-                    next_epoch += config.epoch_cycles
-            if next_sample is not None and now >= next_sample:
-                self.size_series.sample(
-                    int(now), self._target_lines(), cache.partition_sizes()
+            if use_heap:
+                now, cid = heappop(heap)
+            else:
+                now = times[0]
+                cid = 0
+                for i in range(1, num_cores):
+                    ti = times[i]
+                    if ti < now:
+                        now = ti
+                        cid = i
+
+            if now >= next_service:
+                if now >= next_epoch:
+                    self._repartition()
+                    while now >= next_epoch:
+                        next_epoch += epoch_cycles
+                if now >= next_sample:
+                    self.size_series.sample(
+                        int(now), self._target_lines(), cache.partition_sizes()
+                    )
+                    while now >= next_sample:
+                        next_sample += sample_period
+                next_service = (
+                    next_epoch if next_epoch < next_sample else next_sample
                 )
-                while now >= next_sample:
-                    next_sample += sample_period
 
             try:
-                gap, addr = next(iterators[cid])
+                gap, addr = nexts[cid]()
             except StopIteration:
-                iterators[cid] = self.trace_factories[cid]()
-                gap, addr = next(iterators[cid])
+                it = trace_factories[cid]()
+                iterators[cid] = it
+                nexts[cid] = it.__next__
+                gap, addr = it.__next__()
 
-            instructions[cid] += gap + 1
+            count = instructions[cid] + gap + 1
+            instructions[cid] = count
             t = now + gap + 1
 
             if l1s is not None and l1s[cid].access(addr):
                 pass  # L1 hit: fully pipelined, no stall.
             else:
-                if policy is not None:
-                    policy.observe(cid, addr)
-                if cache.access(addr, cid):
+                if observe is not None:
+                    observe(cid, addr)
+                if cache_access(addr, cid):
                     t += hit_latency
                 else:
-                    t += hit_latency + memory.request(addr, t)
+                    t += hit_latency + mem_request(addr, t)
 
-            if finished_at[cid] is None and instructions[cid] >= instructions_per_core:
+            if count >= instructions_per_core and finished_at[cid] is None:
                 finished_at[cid] = t
-                instructions_at_finish[cid] = instructions[cid]
+                instructions_at_finish[cid] = count
                 unfinished -= 1
-            heapq.heappush(heap, (t, cid))
+            if use_heap:
+                heappush(heap, (t, cid))
+            else:
+                times[cid] = t
 
         cores = [
             CoreResult(

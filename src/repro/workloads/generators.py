@@ -28,6 +28,7 @@ from __future__ import annotations
 import bisect
 import random
 from collections.abc import Iterator
+from math import log as _log
 
 TracePair = tuple[int, int]
 
@@ -58,10 +59,19 @@ def zipf_stream(
     # is not contiguous (defeats accidental spatial effects).
     perm = list(range(ws_lines))
     rng.shuffle(perm)
+    # Hot loop: expovariate is inlined (its body is exactly
+    # ``-log(1 - random()) / lambd``) so each item costs two C-level
+    # RNG draws, one bisect and one log -- no Python calls.
+    rnd = rng.random
+    bisect_left = bisect.bisect_left
+    lambd = 1.0 / mean_gap if mean_gap > 0 else None
+    if lambd is None:
+        while True:
+            rank = bisect_left(cumulative, rnd() * total)
+            yield 0, base + perm[rank]
     while True:
-        u = rng.random() * total
-        rank = bisect.bisect_left(cumulative, u)
-        yield _gap(rng, mean_gap), base + perm[rank]
+        rank = bisect_left(cumulative, rnd() * total)
+        yield int(-_log(1.0 - rnd()) / lambd), base + perm[rank]
 
 
 def loop_stream(
@@ -74,9 +84,14 @@ def loop_stream(
     if ws_lines <= 0:
         raise ValueError("ws_lines must be positive")
     rng = random.Random(seed)
+    rnd = rng.random
+    lambd = 1.0 / mean_gap if mean_gap > 0 else None
     index = 0
     while True:
-        yield _gap(rng, mean_gap), base + index
+        if lambd is None:
+            yield 0, base + index
+        else:
+            yield int(-_log(1.0 - rnd()) / lambd), base + index
         index += 1
         if index >= ws_lines:
             index = 0

@@ -1,0 +1,126 @@
+"""Determinism of the parallel harness and the results cache.
+
+The guarantees under test:
+
+- ``run_jobs`` over worker processes is bitwise-identical to running
+  each job serially through ``run_mix``;
+- a cache hit returns the same outcome as a fresh simulation;
+- duplicate jobs (and a baseline repeated inside a scheme list) are
+  simulated only once.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import SimJob, relative_throughputs, run_jobs, run_mix
+from repro.harness import results_cache
+from repro.sim import small_system
+from repro.workloads import make_mix
+
+INSTRUCTIONS = 8_000
+SCHEMES = ("vantage-z4/16", "lru-sa16")
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_RESULTS_CACHE", raising=False)
+    return tmp_path / "cache"
+
+
+def _jobs():
+    config = small_system()
+    mixes = [make_mix("sftn", 1), make_mix("ttnn", 1)]
+    return [
+        SimJob(mix, scheme, config, INSTRUCTIONS, seed=3)
+        for mix in mixes
+        for scheme in SCHEMES
+    ]
+
+
+def test_parallel_matches_serial_bitwise(cache_dir):
+    jobs = _jobs()
+    parallel = run_jobs(jobs, workers=2, use_cache=False)
+    for job, outcome in zip(jobs, parallel):
+        serial = run_mix(
+            job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+        ).result
+        assert outcome.result == serial
+
+
+def test_cache_hit_equals_fresh_run(cache_dir):
+    jobs = _jobs()
+    fresh = run_jobs(jobs, workers=1)
+    assert cache_dir.exists()  # entries were written
+    hits = run_jobs(jobs, workers=1)
+    for a, b in zip(fresh, hits):
+        assert a.result == b.result
+
+
+def test_cache_can_be_disabled(cache_dir, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_CACHE", "0")
+    run_jobs(_jobs()[:1], workers=1)
+    assert not cache_dir.exists()
+
+
+def test_duplicate_jobs_simulated_once(cache_dir):
+    job = _jobs()[0]
+    outcomes = run_jobs([job, job, job], workers=1, use_cache=True)
+    assert len(outcomes) == 3
+    assert outcomes[0].result == outcomes[1].result == outcomes[2].result
+    entries = [p for p in cache_dir.rglob("*.pkl")]
+    assert len(entries) == 1
+
+
+def test_job_key_distinguishes_inputs():
+    config = small_system()
+    mix = make_mix("sftn", 1)
+    base = SimJob(mix, "lru-sa16", config, INSTRUCTIONS, seed=0)
+    assert results_cache.job_key(base) == results_cache.job_key(
+        SimJob(mix, "lru-sa16", config, INSTRUCTIONS, seed=0)
+    )
+    variants = [
+        SimJob(mix, "vantage-z4/16", config, INSTRUCTIONS, seed=0),
+        SimJob(mix, "lru-sa16", config, INSTRUCTIONS, seed=1),
+        SimJob(mix, "lru-sa16", config, INSTRUCTIONS + 1, seed=0),
+        SimJob(make_mix("ttnn", 1), "lru-sa16", config, INSTRUCTIONS, seed=0),
+    ]
+    keys = {results_cache.job_key(v) for v in variants}
+    assert results_cache.job_key(base) not in keys
+    assert len(keys) == len(variants)
+
+
+def test_relative_throughputs_reuses_baseline(cache_dir):
+    """A baseline that is also a scheme is simulated once and its
+    column normalises to exactly 1.0."""
+    config = small_system()
+    mixes = [make_mix("sftn", 1)]
+    rel = relative_throughputs(
+        mixes, ["lru-sa16", "vantage-z4/16"], "lru-sa16", config, INSTRUCTIONS
+    )
+    assert rel["lru-sa16"] == [1.0]
+    entries = [p for p in cache_dir.rglob("*.pkl")]
+    assert len(entries) == 2  # baseline + vantage, not 3
+
+
+def test_default_workers_env(monkeypatch):
+    from repro.harness import default_workers
+
+    monkeypatch.setenv("REPRO_WORKERS", "5")
+    assert default_workers() == 5
+    monkeypatch.delenv("REPRO_WORKERS")
+    assert default_workers() >= 1
+
+
+def test_worker_pool_used_when_requested(cache_dir):
+    """Multi-worker path (ProcessPoolExecutor) agrees with inline."""
+    if os.cpu_count() is None:
+        pytest.skip("cpu_count unavailable")
+    jobs = _jobs()[:2]
+    pooled = run_jobs(jobs, workers=2, use_cache=False)
+    inline = run_jobs(jobs, workers=1, use_cache=False)
+    for a, b in zip(pooled, inline):
+        assert a.result == b.result

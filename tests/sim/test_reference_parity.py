@@ -1,0 +1,140 @@
+"""The optimized kernels are pure strength reductions: every
+simulation must produce results identical to the reference
+(pre-optimization) implementations in :mod:`repro.sim.reference`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arrays.base import CacheArray
+from repro.arrays.set_assoc import SetAssociativeArray
+from repro.arrays.skew import SkewAssociativeArray
+from repro.arrays.zcache import ZCacheArray
+from repro.harness import build_policy
+from repro.harness.schemes import build_cache
+from repro.sim import CMPSystem, small_system
+from repro.sim.reference import (
+    as_reference_cache,
+    as_reference_policy,
+    reference_run,
+)
+from repro.workloads import make_mix
+
+INSTRUCTIONS = 12_000
+
+
+def _simulate(scheme: str, partitioned: bool, reference: bool):
+    config = small_system()
+    mix = make_mix("sftn", 1)
+    cache = build_cache(scheme, config.l2_lines, config.num_cores, seed=0)
+    policy = build_policy(cache, config, 0) if partitioned else None
+    if reference:
+        as_reference_cache(cache)
+        if policy is not None:
+            as_reference_policy(policy)
+    system = CMPSystem(cache, mix.trace_factories(0), config, policy=policy)
+    if reference:
+        return reference_run(system, INSTRUCTIONS)
+    return system.run(INSTRUCTIONS)
+
+
+@pytest.mark.parametrize(
+    "scheme,partitioned",
+    [
+        ("vantage-z4/52", True),
+        ("vantage-z4/16", True),
+        ("vantage-sa16", True),
+        ("lru-sa16", False),
+        ("lru-z4/52", False),
+    ],
+)
+def test_reference_and_optimized_results_identical(scheme, partitioned):
+    optimized = _simulate(scheme, partitioned, reference=False)
+    reference = _simulate(scheme, partitioned, reference=True)
+    assert optimized == reference
+
+
+def _walk_parity(array: CacheArray, addrs: list[int]) -> None:
+    """candidate_slots/make_candidate must reproduce candidates()
+    exactly: same slots, same discovery order, same paths -- up to the
+    early stop at the first empty candidate."""
+    for addr in addrs:
+        full = array.candidates(addr)
+        fast = array.candidate_slots(addr)
+        if fast is None:
+            continue
+        slots, parents, has_empty = fast
+        slots = list(slots)
+        assert slots == [c.slot for c in full[: len(slots)]]
+        if has_empty:
+            assert array._tags[slots[-1]] is None
+        rebuilt = [
+            array.make_candidate(slots, parents, i) for i in range(len(slots))
+        ]
+        assert rebuilt == full[: len(slots)]
+        if not has_empty:
+            assert len(slots) == len(full)
+        # Install into the chosen victim exactly as a cache would, so
+        # the parity check sweeps over changing occupancy.
+        victim = rebuilt[-1]
+        array.install(addr, victim)
+
+
+def _fill_addrs(n: int, seed: int = 9) -> list[int]:
+    import random
+
+    rng = random.Random(seed)
+    return [rng.randrange(1 << 30) for _ in range(n)]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: ZCacheArray(256, num_ways=4, candidates_per_miss=16, seed=1),
+        lambda: ZCacheArray(128, num_ways=4, candidates_per_miss=52, seed=2),
+        lambda: SkewAssociativeArray(256, num_ways=4, seed=3),
+        lambda: SetAssociativeArray(256, num_ways=16, seed=4),
+    ],
+)
+def test_candidate_walk_parity_cold_to_full(factory):
+    """Parity from an empty array through total occupancy, which
+    drives the zcache walk through its careful mode (empty stops) and
+    its full-array mode (_WalkLevels path reconstruction)."""
+    array = factory()
+    addrs = [a for a in _fill_addrs(3 * array.num_lines) if array.lookup(a) is None]
+    # Dedup preserving order; install changes membership as we go, so
+    # re-check inside the loop instead.
+    seen = set()
+    unique = [a for a in addrs if not (a in seen or seen.add(a))]
+    installed = 0
+    for addr in unique:
+        if array.lookup(addr) is not None:
+            continue
+        _walk_parity(array, [addr])
+        installed += 1
+    assert installed > array.num_lines  # reached and exercised full mode
+    assert len(array._slot_of) == array.num_lines
+
+
+def test_zcache_full_mode_paths_are_valid():
+    """In full-array mode every reconstructed path must be a real
+    relocation chain: consecutive slots linked by the resident line's
+    alternative positions."""
+    array = ZCacheArray(64, num_ways=4, candidates_per_miss=16, seed=5)
+    addrs = _fill_addrs(400, seed=6)
+    for addr in addrs:
+        if array.lookup(addr) is not None:
+            continue
+        fast = array.candidate_slots(addr)
+        slots, parents, has_empty = fast
+        slots = list(slots)
+        for i in range(len(slots)):
+            cand = array.make_candidate(slots, parents, i)
+            assert cand.slot == slots[i]
+            for parent, child in zip(cand.path, cand.path[1:]):
+                line = array._tags[parent]
+                assert line is not None
+                assert child in array.positions(line)
+        victim = array.make_candidate(slots, parents, len(slots) - 1)
+        array.install(addr, victim)
