@@ -121,22 +121,20 @@ class UCPPolicy:
         self.total_units = total_units
         self.min_units = min_units
         self.granularity = granularity
-        # Bound per-monitor sample-cache getters for observe()'s early
-        # exit (the monitors list never changes after construction).
-        # Duck-typed monitors without a sample cache (e.g. RRIPMonitor)
-        # fall back to a getter that never skips the access.
-        self._sample_gets = [
-            m._sample_cache.get
-            if hasattr(m, "_sample_cache")
-            else (lambda addr, default=None: default)
-            for m in self.monitors
-        ]
+        # Bound per-monitor sample filters for observe()'s early exit
+        # (the monitors list never changes after construction).  Every
+        # monitor implements the SampledMonitor interface, so there is
+        # exactly one reporting path -- no capability duck-probing.
+        self._sample_gets = [m.sample_filter() for m in self.monitors]
+        self.observed = [0] * len(self.monitors)
+        self.last_allocation: list[int] = []
 
     def observe(self, part: int, addr: int) -> None:
         # The vast majority of addresses fall outside the monitor's
         # sampled sets; its per-address cache lets us skip the call.
         if self._sample_gets[part](addr, -1) is None:
             return
+        self.observed[part] += 1
         self.monitors[part].access(addr)
 
     def allocate(self) -> list[int]:
@@ -160,4 +158,21 @@ class UCPPolicy:
             units = [int(u * scale) for u in units]
         for mon in self.monitors:
             mon.epoch_reset()
+        self.last_allocation = list(units)
         return units
+
+    def register_stats(self, group) -> None:
+        """Register UCP and per-partition monitor telemetry."""
+        group.stat(
+            "observed",
+            lambda: list(self.observed),
+            "per-partition accesses forwarded to the monitors",
+        )
+        group.stat(
+            "last_allocation",
+            lambda: list(self.last_allocation),
+            "most recent allocation, in units",
+        )
+        monitors = group.group("monitors", "per-partition utility monitors")
+        for i, mon in enumerate(self.monitors):
+            mon.register_stats(monitors.group(f"part_{i}"))

@@ -15,9 +15,10 @@ moving average that adapts to phase changes (as in the UCP paper).
 from __future__ import annotations
 
 from repro.arrays.hashing import H3Hash
+from repro.telemetry import SampledMonitor
 
 
-class UMonitor:
+class UMonitor(SampledMonitor):
     """Per-core utility monitor (UMON-DSS).
 
     Parameters
@@ -102,6 +103,19 @@ class UMonitor:
         """Halve the counters (exponential decay across epochs)."""
         self.accesses //= 2
         self.hits = [h // 2 for h in self.hits]
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        group.stat(
+            "sampled_accesses",
+            lambda: self.accesses,
+            "accesses that fell in the sampled sets (decayed)",
+        )
+        group.stat(
+            "position_hits",
+            lambda: list(self.hits),
+            "per-LRU-stack-position hit counters (decayed)",
+        )
 
 
 def interpolate_curve(curve: list[float], num_points: int) -> list[float]:

@@ -19,6 +19,7 @@ import random
 
 from repro.arrays.hashing import H3Hash
 from repro.replacement.rrip import BRRIP_EPSILON, RRPV_MAX
+from repro.telemetry import SampledMonitor
 
 
 class _RRIPStack:
@@ -71,7 +72,7 @@ class _RRIPStack:
         self.lines.sort(key=lambda e: e[1])
 
 
-class RRIPMonitor:
+class RRIPMonitor(SampledMonitor):
     """Per-core utility monitor with RRIP shadow chains and
     SRRIP-vs-BRRIP duelling halves."""
 
@@ -96,6 +97,10 @@ class RRIPMonitor:
         self._hash = H3Hash(model_sets, seed)
         self._rng = random.Random(seed + 1)
         self._stacks: dict[int, _RRIPStack] = {}
+        # addr -> sampled set index (None outside the sampled sets);
+        # the SampledMonitor contract, shared with UMonitor, which
+        # lets UCP skip non-sampled addresses without a call.
+        self._sample_cache: dict[int, int | None] = {}
         # Separate counters for the SRRIP and BRRIP halves.
         self.hits = {"srrip": [0] * num_ways, "brrip": [0] * num_ways}
         self.accesses = {"srrip": 0, "brrip": 0}
@@ -104,8 +109,13 @@ class RRIPMonitor:
         return "srrip" if (set_index // self._period) % 2 == 0 else "brrip"
 
     def access(self, addr: int) -> None:
-        set_index = self._hash(addr)
-        if set_index % self._period:
+        set_index = self._sample_cache.get(addr, -1)
+        if set_index == -1:
+            set_index = self._hash(addr)
+            if set_index % self._period:
+                set_index = None
+            self._sample_cache[addr] = set_index
+        if set_index is None:
             return
         half = self._half(set_index)
         self.accesses[half] += 1
@@ -142,3 +152,16 @@ class RRIPMonitor:
         for half in ("srrip", "brrip"):
             self.accesses[half] //= 2
             self.hits[half] = [h // 2 for h in self.hits[half]]
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        group.stat(
+            "sampled_accesses",
+            lambda: dict(self.accesses),
+            "accesses that fell in each duelling half (decayed)",
+        )
+        group.stat(
+            "best_policy",
+            self.best_policy,
+            "insertion policy with the lower miss rate this interval",
+        )

@@ -16,6 +16,8 @@ from abc import ABC, abstractmethod
 from collections import namedtuple
 from typing import Iterator
 
+from repro import telemetry
+
 
 class Candidate(namedtuple("Candidate", ("slot", "addr", "path", "way"))):
     """One replacement option returned by :meth:`CacheArray.candidates`.
@@ -77,6 +79,14 @@ class CacheArray(ABC):
         self.num_sets = num_lines // num_ways
         self._tags: list[int | None] = [None] * num_lines
         self._slot_of: dict[int, int] = {}
+        # Telemetry counters (plain ints; pull-based leaves read them
+        # at snapshot time).  ``_collect`` is latched at construction
+        # so disabled telemetry costs one attribute read per walk.
+        self._collect = telemetry.enabled()
+        self.stat_walks = 0
+        self.stat_candidates = 0
+        self.stat_installs = 0
+        self.stat_relocations = 0
 
     # ------------------------------------------------------------------
     # Geometry hooks implemented by subclasses.
@@ -192,6 +202,9 @@ class CacheArray(ABC):
             self._move(path[i - 1], path[i])
             moves.append((path[i - 1], path[i]))
         self._place(addr, path[0])
+        if self._collect:
+            self.stat_installs += 1
+            self.stat_relocations += len(moves)
         return moves
 
     def invalidate(self, addr: int) -> int | None:
@@ -204,6 +217,34 @@ class CacheArray(ABC):
     def occupancy(self) -> int:
         """Number of valid lines currently stored."""
         return len(self._slot_of)
+
+    def register_stats(self, group) -> None:
+        """Register the array's counters into a stats tree group."""
+        group.stat(
+            "walks",
+            lambda: self.stat_walks,
+            "fast-path replacement walks performed",
+        )
+        group.stat(
+            "candidates",
+            lambda: self.stat_candidates,
+            "replacement candidates inspected across all walks",
+        )
+        group.stat(
+            "installs",
+            lambda: self.stat_installs,
+            "lines installed",
+        )
+        group.stat(
+            "relocations",
+            lambda: self.stat_relocations,
+            "line relocations performed during installs (zcache paths)",
+        )
+        group.stat(
+            "occupancy",
+            lambda: len(self._slot_of),
+            "valid lines currently resident",
+        )
 
     def contents(self) -> Iterator[tuple[int, int]]:
         """Iterate over ``(slot, addr)`` for every valid line."""

@@ -57,7 +57,13 @@ class RandomCandidatesArray(CacheArray):
         # Consumes the RNG exactly like candidates(): one sample per
         # miss once the array is full, nothing while slots are free.
         if self._free:
+            if self._collect:
+                self.stat_walks += 1
+                self.stat_candidates += 1
             return [self._free[-1]], None, True
+        if self._collect:
+            self.stat_walks += 1
+            self.stat_candidates += self._r
         return self._rng.sample(range(self.num_lines), self._r), None, False
 
     def install(self, addr: int, victim: Candidate) -> list[tuple[int, int]]:

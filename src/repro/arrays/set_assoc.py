@@ -84,7 +84,13 @@ class SetAssociativeArray(CacheArray):
             for slot in range(base, base + self.num_ways):
                 slots.append(slot)
                 if tags[slot] is None:
+                    if self._collect:
+                        self.stat_walks += 1
+                        self.stat_candidates += len(slots)
                     return slots, None, True
+        if self._collect:
+            self.stat_walks += 1
+            self.stat_candidates += self.num_ways
         return self._set_ranges[set_index], None, False
 
     def _place(self, addr: int, slot: int) -> None:

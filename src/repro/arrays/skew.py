@@ -69,11 +69,16 @@ class SkewAssociativeArray(CacheArray):
         tags = self._tags
         slots = self._walk_slots
         slots.clear()
+        has_empty = False
         for slot in self.positions(addr):
             slots.append(slot)
             if tags[slot] is None:
-                return slots, None, True
-        return slots, None, False
+                has_empty = True
+                break
+        if self._collect:
+            self.stat_walks += 1
+            self.stat_candidates += len(slots)
+        return slots, None, has_empty
 
     def way_of_slot(self, slot: int) -> int:
         return slot // self.num_sets
@@ -137,6 +142,9 @@ class SkewAssociativeArray(CacheArray):
             pos = self.positions(addr)
         way = first // num_sets
         pbs[first] = pos[:way] + pos[way + 1 :]
+        if self._collect:
+            self.stat_installs += 1
+            self.stat_relocations += len(moves)
         return moves
 
     def _place(self, addr: int, slot: int) -> None:

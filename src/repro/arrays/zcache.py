@@ -185,6 +185,13 @@ class ZCacheArray(SkewAssociativeArray):
         always sits at one of its own hashed positions, so the
         parent's way is skipped implicitly by the ``visited`` check.
         """
+        result = self._walk(addr)
+        if self._collect:
+            self.stat_walks += 1
+            self.stat_candidates += len(result[0])
+        return result
+
+    def _walk(self, addr: int):
         tags = self._tags
         pos_by_slot = self._pos_by_slot
         gen = self._walk_gen + 1

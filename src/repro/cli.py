@@ -5,10 +5,13 @@ Subcommands:
 - ``list-apps``: the 29 synthetic applications and their categories.
 - ``classify <app>``: run the Table 3 MPKI sweep for one application.
 - ``size-unmanaged``: evaluate the Section 4.3 sizing closed form.
-- ``run-mix``: simulate one multiprogrammed mix under a scheme.
+- ``run-mix``: simulate one multiprogrammed mix under a scheme
+  (``--stats-json`` exports the run's stats tree).
+- ``schemes``: list the registered schemes and array kinds.
 - ``overheads``: Vantage state-overhead accounting.
 - ``bench``: time the optimized simulation kernels against the
-  reference implementations (writes ``BENCH_<tag>.json``).
+  reference implementations and check the telemetry overhead budget
+  (writes ``BENCH_<tag>.json``).
 
 Example::
 
@@ -100,6 +103,32 @@ def _cmd_run_mix(args) -> int:
         )
     if hasattr(run.cache, "managed_eviction_fraction"):
         print(f"managed-eviction fraction: {run.cache.managed_eviction_fraction():.4f}")
+    if args.stats_json:
+        run.telemetry.dump(args.stats_json)
+        print(f"wrote stats tree to {args.stats_json}")
+    return 0
+
+
+def _cmd_schemes(args) -> int:
+    from repro.harness.schemes import ARRAYS, SCHEMES
+
+    if args.list:
+        for entry in SCHEMES.entries():
+            print(entry.name)
+        return 0
+    print("schemes (compose with an array token, e.g. vantage-z4/52):")
+    for entry in SCHEMES.entries():
+        part = "partitioned" if entry.metadata.get("partitioned") else "baseline"
+        line = f"  {entry.name:20s} {part:12s} {entry.description}"
+        if args.fingerprints:
+            line += f"  [{entry.fingerprint()[:16]}]"
+        print(line)
+    print("arrays:")
+    for entry in ARRAYS.entries():
+        line = f"  {entry.name:20s} {'':12s} {entry.description}"
+        if args.fingerprints:
+            line += f"  [{entry.fingerprint()[:16]}]"
+        print(line)
     return 0
 
 
@@ -151,6 +180,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--instructions", type=int, default=400_000)
     p.add_argument("--epoch-cycles", type=int, default=250_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--stats-json",
+        default=None,
+        metavar="PATH",
+        help="write the run's exported stats tree to PATH as JSON",
+    )
+
+    p = sub.add_parser("schemes", help="list the registered schemes and arrays")
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="bare scheme names only, one per line (for scripting/CI)",
+    )
+    p.add_argument(
+        "--fingerprints",
+        action="store_true",
+        help="show each registry entry's fingerprint prefix",
+    )
 
     p = sub.add_parser(
         "bench", help="time the optimized kernels against the reference"
@@ -173,6 +220,7 @@ _COMMANDS = {
     "size-unmanaged": _cmd_size_unmanaged,
     "overheads": _cmd_overheads,
     "run-mix": _cmd_run_mix,
+    "schemes": _cmd_schemes,
     "bench": _cmd_bench,
 }
 

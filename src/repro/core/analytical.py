@@ -116,3 +116,12 @@ class AnalyticalVantageCache(VantageCache):
         if owner is not None and owner != UNMANAGED:
             self._hist[owner][self.line_ts[slot]] -= 1
         super()._evict_slot(slot)
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        a = group.group("analytical", "exact-aperture controller state")
+        a.stat(
+            "threshold_dist",
+            lambda: list(self._threshold_dist),
+            "per-partition demotion thresholds (timestamp distance)",
+        )

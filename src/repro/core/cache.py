@@ -102,6 +102,8 @@ class VantageCache(PartitionedCache):
         self.promotions = [0] * n
         self.evictions_unmanaged = 0
         self.evictions_managed = 0
+        self.setpoint_widened = [0] * n
+        self.setpoint_narrowed = [0] * n
         #: Optional hook ``fn(slot, part)`` called just before a line
         #: of ``part`` is demoted (measurement only).
         self.demotion_hook = None
@@ -259,10 +261,12 @@ class VantageCache(PartitionedCache):
         """Demoting too fast: widen the keep window one step."""
         if self.keep_width[part] < TS_MOD - 1:
             self.keep_width[part] += 1
+            self.setpoint_widened[part] += 1
 
     def _setpoint_demote_more(self, part: int) -> None:
         if self.keep_width[part] > 0:
             self.keep_width[part] -= 1
+            self.setpoint_narrowed[part] += 1
 
     # ------------------------------------------------------------------
     # Access path.
@@ -500,6 +504,12 @@ class VantageCache(PartitionedCache):
                 break
             level_start = level_end
 
+        # The fused walk bypasses candidate_slots(), so the array's
+        # walk telemetry is maintained here instead.
+        if array._collect:
+            array.stat_walks += 1
+            array.stat_candidates += n
+
         if first_demoted < 0:
             self._on_no_demotions(slots)
 
@@ -713,3 +723,57 @@ class VantageCache(PartitionedCache):
     def region_occupancy(self) -> tuple[int, int]:
         """(managed lines, unmanaged lines) currently resident."""
         return sum(self.actual_size), self.unmanaged_size
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        v = group.group("vantage", "Vantage controller registers")
+        v.stat(
+            "demotions",
+            lambda: list(self.demotions),
+            "per-partition lines demoted to the unmanaged region",
+        )
+        v.stat(
+            "promotions",
+            lambda: list(self.promotions),
+            "per-partition lines promoted back on an unmanaged hit",
+        )
+        v.stat(
+            "evictions_unmanaged",
+            lambda: self.evictions_unmanaged,
+            "evictions taken from the unmanaged region",
+        )
+        v.stat(
+            "evictions_managed",
+            lambda: self.evictions_managed,
+            "forced evictions taken from the managed region",
+        )
+        v.stat(
+            "setpoint_widened",
+            lambda: list(self.setpoint_widened),
+            "per-partition keep-window widening steps (demote less)",
+        )
+        v.stat(
+            "setpoint_narrowed",
+            lambda: list(self.setpoint_narrowed),
+            "per-partition keep-window narrowing steps (demote more)",
+        )
+        v.stat(
+            "keep_width",
+            lambda: list(self.keep_width),
+            "per-partition keep-window width (SetpointTS distance)",
+        )
+        v.stat(
+            "target_size",
+            lambda: list(self.target),
+            "per-partition target sizes, in lines",
+        )
+        v.stat(
+            "actual_size",
+            lambda: list(self.actual_size),
+            "per-partition managed-region footprints, in lines",
+        )
+        v.stat(
+            "unmanaged_size",
+            lambda: self.unmanaged_size,
+            "unmanaged-region occupancy, in lines",
+        )

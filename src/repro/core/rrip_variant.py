@@ -91,10 +91,12 @@ class VantageDRRIPCache(VantageCache):
     def _setpoint_demote_less(self, part: int) -> None:
         if self.setpoint_rrpv[part] <= RRPV_MAX:
             self.setpoint_rrpv[part] += 1
+            self.setpoint_widened[part] += 1
 
     def _setpoint_demote_more(self, part: int) -> None:
         if self.setpoint_rrpv[part] > 1:
             self.setpoint_rrpv[part] -= 1
+            self.setpoint_narrowed[part] += 1
 
     def _on_no_demotions(self, slots: list[int]) -> None:
         """RRIP aging, restricted to partitions above target size."""
@@ -127,3 +129,17 @@ class VantageDRRIPCache(VantageCache):
 
     def _vote(self, part: int, delta: int) -> None:
         self.psel[part] = min(PSEL_MAX, max(0, self.psel[part] + delta))
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        d = group.group("drrip", "per-partition DRRIP duelling state")
+        d.stat(
+            "setpoint_rrpv",
+            lambda: list(self.setpoint_rrpv),
+            "per-partition setpoint RRPVs (demotion thresholds)",
+        )
+        d.stat(
+            "psel",
+            lambda: list(self.psel),
+            "per-partition SRRIP/BRRIP policy selectors",
+        )

@@ -14,6 +14,11 @@ Both sides of each kernel run in this process, best-of-``rounds``,
 and their :class:`~repro.sim.system.SystemResult`s are asserted
 *equal*: the optimizations are strength reductions, not behaviour
 changes, so any divergence fails the bench run loudly.
+
+The run also measures the telemetry overhead on the headline kernel
+(stats collection on vs off) and fails if it exceeds
+:data:`STATS_OVERHEAD_BUDGET` -- the stats pipeline must stay cheap
+enough to leave enabled everywhere.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import json
 import time
 from pathlib import Path
 
+from repro import telemetry
 from repro.harness.runner import build_policy
 from repro.harness.schemes import build_cache
 from repro.sim import CMPSystem
@@ -41,6 +47,13 @@ INSTRUCTIONS = 120_000
 ROUNDS = 3
 SMOKE_INSTRUCTIONS = 15_000
 
+#: Maximum fractional slowdown stats collection may cost on the
+#: headline kernel (full runs).  Smoke runs use the looser smoke
+#: budget: a 15k-instruction run is dominated by timing noise, and the
+#: smoke step exists to exercise the guard, not to measure precisely.
+STATS_OVERHEAD_BUDGET = 0.05
+SMOKE_STATS_OVERHEAD_BUDGET = 0.50
+
 #: (scheme, partitioned) kernels; the first entry is the headline.
 KERNELS = (
     ("vantage-z4/52", True),
@@ -49,7 +62,12 @@ KERNELS = (
 
 
 def _run_once(scheme: str, partitioned: bool, instructions: int, reference: bool):
-    """Build a fresh system and time one simulation of the kernel."""
+    """Build a fresh system and time one simulation of the kernel.
+
+    Returns ``(elapsed, result, tree)``; ``tree`` is the run's stats
+    tree for optimized runs and ``None`` for reference runs (the
+    reference wrappers predate the telemetry spine).
+    """
     config = small_system()
     mix = make_mix(MIX_CLASS, MIX_INDEX)
     cache = build_cache(scheme, config.l2_lines, config.num_cores, seed=SEED)
@@ -59,12 +77,15 @@ def _run_once(scheme: str, partitioned: bool, instructions: int, reference: bool
         if policy is not None:
             as_reference_policy(policy)
     system = CMPSystem(cache, mix.trace_factories(SEED), config, policy=policy)
+    tree = None
+    if not reference:
+        tree = telemetry.system_tree(cache=cache, system=system, policy=policy)
     start = time.perf_counter()
     if reference:
         result = reference_run(system, instructions)
     else:
         result = system.run(instructions)
-    return time.perf_counter() - start, result
+    return time.perf_counter() - start, result, tree
 
 
 def bench_kernel(
@@ -73,11 +94,14 @@ def bench_kernel(
     """Best-of-``rounds`` times for both kernel implementations."""
     opt_best = ref_best = None
     opt_result = ref_result = None
+    opt_tree = None
     for _ in range(rounds):
-        elapsed, opt_result = _run_once(scheme, partitioned, instructions, False)
+        elapsed, opt_result, opt_tree = _run_once(
+            scheme, partitioned, instructions, False
+        )
         if opt_best is None or elapsed < opt_best:
             opt_best = elapsed
-        elapsed, ref_result = _run_once(scheme, partitioned, instructions, True)
+        elapsed, ref_result, _ = _run_once(scheme, partitioned, instructions, True)
         if ref_best is None or elapsed < ref_best:
             ref_best = elapsed
     identical = opt_result == ref_result
@@ -89,6 +113,54 @@ def bench_kernel(
         "reference_s": round(ref_best, 4),
         "speedup": round(ref_best / opt_best, 3) if opt_best else 0.0,
         "identical": identical,
+        "stats": opt_tree.snapshot() if opt_tree is not None else None,
+    }
+
+
+def bench_stats_overhead(instructions: int, rounds: int) -> dict:
+    """Time the headline optimized kernel with telemetry on vs off.
+
+    Both runs must produce *equal* results (collection may never
+    perturb the simulation); the fractional slowdown is the number the
+    <5% budget is enforced against.
+
+    The true overhead (a few percent) is smaller than run-to-run
+    timing drift on a busy host, so this measurement takes more
+    samples than the speedup kernels and alternates the on/off order
+    every round -- monotonic frequency/thermal drift then biases both
+    sides equally instead of inflating whichever ran second.
+    """
+    scheme, partitioned = KERNELS[0]
+    rounds = max(rounds, 5)
+    on_best = off_best = None
+    on_result = off_result = None
+    prev = telemetry.enabled()
+    try:
+        for i in range(rounds):
+            for on in ((True, False) if i % 2 == 0 else (False, True)):
+                telemetry.set_enabled(on)
+                elapsed, result, _ = _run_once(
+                    scheme, partitioned, instructions, False
+                )
+                if on:
+                    on_result = result
+                    if on_best is None or elapsed < on_best:
+                        on_best = elapsed
+                else:
+                    off_result = result
+                    if off_best is None or elapsed < off_best:
+                        off_best = elapsed
+    finally:
+        telemetry.set_enabled(prev)
+    overhead = on_best / off_best - 1.0 if off_best else 0.0
+    return {
+        "scheme": scheme,
+        "instructions": instructions,
+        "rounds": rounds,
+        "stats_on_s": round(on_best, 4),
+        "stats_off_s": round(off_best, 4),
+        "overhead": round(overhead, 4),
+        "identical": on_result == off_result,
     }
 
 
@@ -116,6 +188,8 @@ def run_bench(
         bench_kernel(scheme, partitioned, instructions, rounds)
         for scheme, partitioned in KERNELS
     ]
+    stats_overhead = bench_stats_overhead(instructions, rounds)
+    budget = SMOKE_STATS_OVERHEAD_BUDGET if smoke else STATS_OVERHEAD_BUDGET
     report = {
         "tag": tag,
         "smoke": smoke,
@@ -126,6 +200,7 @@ def run_bench(
             "seed": SEED,
         },
         "kernels": kernels,
+        "stats_overhead": {**stats_overhead, "budget": budget},
     }
 
     print(f"repro bench ({'smoke, ' if smoke else ''}{instructions} instrs/core, "
@@ -138,6 +213,12 @@ def run_bench(
             f"{row['optimized_s']:>9.3f}s {row['speedup']:>7.2f}x "
             f"{str(row['identical']):>10s}"
         )
+    print(
+        f"stats overhead on {stats_overhead['scheme']}: "
+        f"{stats_overhead['overhead']:+.2%} "
+        f"(on {stats_overhead['stats_on_s']:.3f}s / "
+        f"off {stats_overhead['stats_off_s']:.3f}s, budget {budget:.0%})"
+    )
 
     path = Path(out_dir) / f"BENCH_{tag}.json"
     path.write_text(json.dumps(report, indent=2) + "\n")
@@ -147,5 +228,15 @@ def run_bench(
     if mismatched:
         raise AssertionError(
             f"optimized and reference kernels diverge on: {', '.join(mismatched)}"
+        )
+    if not stats_overhead["identical"]:
+        raise AssertionError(
+            "telemetry collection changed simulation results on "
+            f"{stats_overhead['scheme']}"
+        )
+    if stats_overhead["overhead"] > budget:
+        raise AssertionError(
+            f"stats collection costs {stats_overhead['overhead']:.2%} on "
+            f"{stats_overhead['scheme']}, above the {budget:.0%} budget"
         )
     return report

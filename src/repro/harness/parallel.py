@@ -22,14 +22,37 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.stats import SizeTimeSeries
 from repro.core import VantageConfig
 from repro.harness import results_cache
 from repro.sim import SystemConfig, SystemResult
+from repro.telemetry import Distribution
 from repro.workloads import Mix
+
+#: Wall-time distribution over jobs executed by this process (fresh
+#: simulations only; cache hits cost no simulation time).
+JOB_WALL_TIME = Distribution("job_wall_time", "per-job wall time, seconds")
+
+
+def register_stats(group) -> None:
+    """Register harness-level telemetry (job timing, results cache)."""
+    group.stat(
+        "jobs_executed",
+        lambda: JOB_WALL_TIME.count,
+        "simulations actually executed (cache misses)",
+    )
+    group.stat(
+        "job_wall_time",
+        JOB_WALL_TIME.value,
+        "per-job wall time distribution, seconds",
+    )
+    results_cache.register_stats(
+        group.group("results_cache", "on-disk result cache")
+    )
 
 
 @dataclass(frozen=True)
@@ -64,6 +87,11 @@ class SimOutcome:
     result: SystemResult
     size_series: SizeTimeSeries | None = None
     managed_eviction_fraction: float | None = None
+    #: Snapshot of the run's stats tree.  Excluded from equality: the
+    #: simulation outputs above are bitwise-deterministic, telemetry
+    #: (gated counters, wall time) legitimately is not.
+    stats: dict | None = field(default=None, compare=False)
+    wall_time_s: float | None = field(default=None, compare=False)
 
 
 def default_workers() -> int:
@@ -77,6 +105,7 @@ def _execute(job: SimJob) -> SimOutcome:
     """Run one job (in a worker process or inline)."""
     from repro.harness.runner import run_mix
 
+    start = time.perf_counter()
     run = run_mix(
         job.mix,
         job.scheme,
@@ -88,6 +117,7 @@ def _execute(job: SimJob) -> SimOutcome:
         use_l1=job.use_l1,
         vantage_config=job.vantage_config,
     )
+    wall = time.perf_counter() - start
     fraction = None
     cache = run.cache
     if hasattr(cache, "managed_eviction_fraction"):
@@ -96,6 +126,8 @@ def _execute(job: SimJob) -> SimOutcome:
         result=run.result,
         size_series=run.size_series,
         managed_eviction_fraction=fraction,
+        stats=run.stats(),
+        wall_time_s=wall,
     )
 
 
@@ -134,6 +166,8 @@ def run_jobs(
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 fresh = list(pool.map(_execute, (job for _, job in pending)))
         for (key, _), outcome in zip(pending, fresh):
+            if outcome.wall_time_s is not None:
+                JOB_WALL_TIME.record(outcome.wall_time_s)
             outcomes[key] = outcome
             if use_cache:
                 results_cache.store(key, outcome)

@@ -7,10 +7,13 @@ or analysis code costs nothing, and a mix suite interrupted halfway
 resumes where it stopped.
 
 Keys are SHA-256 digests of a canonical JSON encoding of the job
-(plus ``CACHE_VERSION``); payloads are pickled
-:class:`~repro.harness.parallel.SimOutcome` objects.  Bump
-``CACHE_VERSION`` whenever a change alters simulation *behaviour*
-(not just speed) so stale entries can never be returned.
+(plus ``CACHE_VERSION`` and the scheme's registry fingerprint);
+payloads are pickled :class:`~repro.harness.parallel.SimOutcome`
+objects.  The fingerprint covers the builder source of the scheme and
+its array, so editing how a scheme is *constructed* invalidates its
+cached results automatically; bump ``CACHE_VERSION`` for behavioural
+changes the fingerprint cannot see (e.g. edits to the simulation loop
+itself).
 
 Environment knobs:
 
@@ -32,6 +35,23 @@ from pathlib import Path
 CACHE_VERSION = 1
 
 _DEFAULT_DIR = Path("results") / "cache"
+
+#: Process-wide telemetry counters (read by the harness stats tree).
+HITS = 0
+MISSES = 0
+STORES = 0
+
+
+def counters() -> dict[str, int]:
+    """Current hit/miss/store counts for this process."""
+    return {"hits": HITS, "misses": MISSES, "stores": STORES}
+
+
+def register_stats(group) -> None:
+    """Register the cache counters into a stats tree group."""
+    group.stat("hits", lambda: HITS, "results served from the on-disk cache")
+    group.stat("misses", lambda: MISSES, "results that had to be simulated")
+    group.stat("stores", lambda: STORES, "fresh results persisted to disk")
 
 
 def cache_enabled() -> bool:
@@ -62,7 +82,15 @@ def _canonical(value):
 
 def job_key(job) -> str:
     """Stable content hash identifying ``job``'s simulation."""
-    payload = {"version": CACHE_VERSION, "job": _canonical(job)}
+    # Imported lazily: this module is imported by repro.harness's
+    # __init__ chain, while schemes.py sits above it.
+    from repro.harness.schemes import scheme_fingerprint
+
+    payload = {
+        "version": CACHE_VERSION,
+        "job": _canonical(job),
+        "registry": scheme_fingerprint(job.scheme),
+    }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -74,24 +102,31 @@ def _entry_path(key: str) -> Path:
 
 def load(key: str):
     """The cached outcome for ``key``, or ``None``."""
+    global HITS, MISSES
     if not cache_enabled():
         return None
     path = _entry_path(key)
     try:
         with path.open("rb") as fh:
-            return pickle.load(fh)
+            outcome = pickle.load(fh)
     except FileNotFoundError:
+        MISSES += 1
         return None
     except (pickle.UnpicklingError, EOFError, AttributeError):
         # Torn write or stale class layout: drop the entry.
         path.unlink(missing_ok=True)
+        MISSES += 1
         return None
+    HITS += 1
+    return outcome
 
 
 def store(key: str, outcome) -> None:
     """Persist ``outcome`` under ``key`` (atomic, best-effort)."""
+    global STORES
     if not cache_enabled():
         return
+    STORES += 1
     path = _entry_path(key)
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

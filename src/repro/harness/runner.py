@@ -9,12 +9,14 @@ and 11 plot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.allocation import UCPPolicy, UMonitor
 from repro.analysis.stats import SizeTimeSeries
-from repro.harness.schemes import build_cache
+from repro.harness.schemes import build_cache, scheme_partitioned
 from repro.sim import CMPSystem, SystemConfig, SystemResult
+from repro.telemetry import StatGroup
 from repro.workloads import Mix
 
 #: UMON associativity per system scale (the paper configures UMONs
@@ -52,6 +54,11 @@ class MixRun:
     cache: object
     system: CMPSystem
     size_series: SizeTimeSeries | None = None
+    telemetry: StatGroup | None = field(default=None, repr=False)
+
+    def stats(self) -> dict:
+        """Snapshot of the run's stats tree (empty dict if no tree)."""
+        return self.telemetry.snapshot() if self.telemetry is not None else {}
 
 
 def run_mix(
@@ -67,8 +74,9 @@ def run_mix(
 ) -> MixRun:
     """Simulate ``mix`` under ``scheme``.
 
-    ``partitioned=None`` infers it from the scheme name: baseline
-    policies run without UCP, partitioning schemes with it.
+    ``partitioned=None`` takes the scheme registry's ``partitioned``
+    metadata: baseline policies run without UCP, partitioning schemes
+    with it.
     ``vantage_config`` overrides the Vantage parameters derived from
     the scheme name (Figure 9's unmanaged-region sweep).
     """
@@ -85,10 +93,7 @@ def run_mix(
         vantage_config=vantage_config,
     )
     if partitioned is None:
-        partitioned = any(
-            scheme.lower().startswith(prefix)
-            for prefix in ("vantage", "waypart", "pipp")
-        )
+        partitioned = scheme_partitioned(scheme)
     policy = build_policy(cache, config, seed) if partitioned else None
     series = None
     if size_sample_cycles is not None:
@@ -102,8 +107,15 @@ def run_mix(
         size_series=series,
         size_sample_cycles=size_sample_cycles,
     )
+    tree = telemetry.system_tree(cache=cache, system=system, policy=policy)
     result = system.run(instructions)
-    return MixRun(result=result, cache=cache, system=system, size_series=series)
+    return MixRun(
+        result=result,
+        cache=cache,
+        system=system,
+        size_series=series,
+        telemetry=tree,
+    )
 
 
 def relative_throughputs(

@@ -1,8 +1,20 @@
 """Scheme factory: build any cache configuration the paper evaluates.
 
-Scheme names compose a policy/scheme token and an array token, e.g.
+Scheme names compose a scheme token and an array token, e.g.
 ``vantage-z4/52``, ``waypart-sa16``, ``pipp-sa64``, ``lru-z4/16``,
 ``drrip-z4/52``, ``vantage-analytical-z4/52``, ``vantage-rc52``.
+
+Construction goes through two :class:`repro.registry.Registry`
+instances -- :data:`SCHEMES` and :data:`ARRAYS` -- populated below via
+``@register_scheme`` / ``@register_array``.  The registries are what
+the CLI lists, what the runner queries for ``partitioned`` metadata,
+and what the results cache fingerprints; adding a scheme means adding
+one decorated builder here (or in any imported module), nothing else.
+
+Malformed tokens always raise ``ValueError`` naming the offending
+token -- there are no silent defaults (``z4/`` with an empty
+candidates field is an error; bare ``z4`` uses the documented
+default of 52 candidates).
 
 Vantage unmanaged-region defaults follow Section 6: 5 % for
 high-candidate designs (R >= 52) and 10 % for R = 16 designs, with
@@ -10,6 +22,8 @@ high-candidate designs (R >= 52) and 10 % for R = 16 designs, with
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 from repro.arrays import (
     CacheArray,
@@ -25,34 +39,211 @@ from repro.core import (
     VantageDRRIPCache,
 )
 from repro.partitioning import BaselineCache, PIPPCache, WayPartitionedCache
+from repro.registry import Registry, RegistryEntry
 from repro.replacement import make_policy
+
+ARRAYS = Registry("array")
+SCHEMES = Registry("scheme")
+
+register_array = ARRAYS.register
+register_scheme = SCHEMES.register
+
+
+def _require_int(text: str, token: str, what: str) -> int:
+    """Strictly parse one integer field of an array token."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(
+            f"malformed array token {token!r}: {what} must be an "
+            f"integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"malformed array token {token!r}: {what} must be positive"
+        )
+    return value
+
+
+# -- array builders -----------------------------------------------------
+#
+# Builders take ``(spec, token, num_lines, seed)`` where ``spec`` is
+# the token with the registered prefix stripped (``sa16`` -> ``16``)
+# and ``token`` is the full lowercase token, used in error messages.
+
+
+@register_array("sa", description="hashed set-associative, saN = N ways")
+def _build_set_assoc(spec, token, num_lines, seed):
+    ways = _require_int(spec, token, "way count")
+    return SetAssociativeArray(num_lines, ways, hashed=True, seed=seed)
+
+
+@register_array("skew", description="skew-associative, skewN = N ways")
+def _build_skew(spec, token, num_lines, seed):
+    ways = _require_int(spec, token, "way count")
+    return SkewAssociativeArray(num_lines, ways, seed=seed)
+
+
+@register_array(
+    "z", description="zcache, zW/R = W ways, R replacement candidates"
+)
+def _build_zcache(spec, token, num_lines, seed):
+    ways, slash, cands = spec.partition("/")
+    if slash and not cands:
+        raise ValueError(
+            f"malformed array token {token!r}: empty candidates field "
+            f"after '/' (write e.g. 'z4/52', or bare 'z4' for the "
+            f"default of 52 candidates)"
+        )
+    num_ways = _require_int(ways, token, "way count")
+    candidates = _require_int(cands, token, "candidate count") if cands else 52
+    return ZCacheArray(
+        num_lines,
+        num_ways=num_ways,
+        candidates_per_miss=candidates,
+        seed=seed,
+    )
+
+
+@register_array("rc", description="idealised random candidates, rcR")
+def _build_random_cands(spec, token, num_lines, seed):
+    candidates = _require_int(spec, token, "candidate count")
+    return RandomCandidatesArray(num_lines, candidates, seed=seed)
 
 
 def build_array(token: str, num_lines: int, seed: int = 0) -> CacheArray:
     """Array tokens: ``saN`` (hashed set-assoc), ``zW/R`` (zcache),
     ``skewN``, ``rcR`` (idealised random candidates)."""
-    token = token.lower()
-    if token.startswith("sa"):
-        return SetAssociativeArray(num_lines, int(token[2:]), hashed=True, seed=seed)
-    if token.startswith("skew"):
-        return SkewAssociativeArray(num_lines, int(token[4:]), seed=seed)
-    if token.startswith("z"):
-        ways, _, cands = token[1:].partition("/")
-        return ZCacheArray(
-            num_lines,
-            num_ways=int(ways),
-            candidates_per_miss=int(cands or 52),
-            seed=seed,
+    name = token.lower()
+    matched = ARRAYS.match_prefix(name)
+    if matched is None:
+        raise ValueError(
+            f"unknown array token {token!r}; known kinds: "
+            f"{', '.join(ARRAYS.names())}"
         )
-    if token.startswith("rc"):
-        return RandomCandidatesArray(num_lines, int(token[2:]), seed=seed)
-    raise ValueError(f"unknown array token {token!r}")
+    entry, spec = matched
+    return entry.builder(spec, name, num_lines, seed)
 
 
 def default_vantage_config(array: CacheArray) -> VantageConfig:
     """The paper's per-design unmanaged sizing (Section 6.2)."""
     u = 0.05 if array.candidates_per_miss >= 52 else 0.10
     return VantageConfig(unmanaged_fraction=u, a_max=0.5, slack=0.1)
+
+
+# -- scheme builders ----------------------------------------------------
+#
+# Builders take ``(array, num_partitions, num_lines, seed,
+# vantage_config)``.  ``partitioned`` metadata tells the runner whether
+# the scheme enforces per-core partitions (and therefore gets an
+# allocation policy wired up).
+
+
+@register_scheme(
+    "vantage",
+    partitioned=True,
+    description="Vantage practical controller (Section 5)",
+)
+def _build_vantage(array, num_partitions, num_lines, seed, vantage_config):
+    config = vantage_config or default_vantage_config(array)
+    return VantageCache(array, num_partitions, config)
+
+
+@register_scheme(
+    "vantage-drrip",
+    partitioned=True,
+    description="Vantage with DRRIP-managed demotion thresholds",
+)
+def _build_vantage_drrip(array, num_partitions, num_lines, seed, vantage_config):
+    config = vantage_config or default_vantage_config(array)
+    return VantageDRRIPCache(array, num_partitions, config, seed=seed)
+
+
+@register_scheme(
+    "vantage-analytical",
+    partitioned=True,
+    description="analytical Vantage model (Section 4, no feedback)",
+)
+def _build_vantage_analytical(
+    array, num_partitions, num_lines, seed, vantage_config
+):
+    config = vantage_config or default_vantage_config(array)
+    return AnalyticalVantageCache(array, num_partitions, config)
+
+
+@register_scheme(
+    "waypart",
+    partitioned=True,
+    description="way partitioning (restricts insertion ways)",
+)
+def _build_waypart(array, num_partitions, num_lines, seed, vantage_config):
+    return WayPartitionedCache(array, num_partitions)
+
+
+@register_scheme(
+    "pipp",
+    partitioned=True,
+    description="PIPP insertion/promotion partitioning",
+)
+def _build_pipp(array, num_partitions, num_lines, seed, vantage_config):
+    return PIPPCache(array, num_partitions, seed=seed)
+
+
+_BASELINE_POLICIES = {
+    "lru": "unpartitioned LRU baseline",
+    "srrip": "unpartitioned SRRIP baseline",
+    "brrip": "unpartitioned BRRIP baseline",
+    "drrip": "unpartitioned DRRIP baseline (set-dueling)",
+    "ta-drrip": "thread-aware DRRIP baseline",
+    "lfu": "unpartitioned LFU baseline",
+    "random": "unpartitioned random-replacement baseline",
+}
+
+for _policy_name, _policy_desc in _BASELINE_POLICIES.items():
+
+    @register_scheme(_policy_name, partitioned=False, description=_policy_desc)
+    def _build_baseline(
+        array, num_partitions, num_lines, seed, vantage_config,
+        _policy=_policy_name,
+    ):
+        policy = make_policy(_policy, num_lines)
+        return BaselineCache(array, policy, num_partitions)
+
+
+def split_scheme(scheme: str) -> tuple[RegistryEntry, str]:
+    """Split ``scheme`` into its registry entry and array token."""
+    name = scheme.lower()
+    matched = SCHEMES.match_prefix(name, sep="-")
+    if matched is None:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; known kinds: "
+            f"{', '.join(SCHEMES.names())}"
+        )
+    return matched
+
+
+def scheme_partitioned(scheme: str) -> bool:
+    """Whether ``scheme`` enforces per-partition allocations."""
+    entry, _ = split_scheme(scheme)
+    return bool(entry.metadata.get("partitioned"))
+
+
+@lru_cache(maxsize=None)
+def scheme_fingerprint(scheme: str) -> str:
+    """Digest covering how ``scheme`` (and its array) is constructed.
+
+    Folded into results-cache keys: editing a builder invalidates the
+    cached results that were produced through it.
+    """
+    entry, array_token = split_scheme(scheme)
+    matched = ARRAYS.match_prefix(array_token)
+    if matched is None:
+        raise ValueError(
+            f"unknown array token {array_token!r} in scheme {scheme!r}; "
+            f"known kinds: {', '.join(ARRAYS.names())}"
+        )
+    array_entry, _ = matched
+    return SCHEMES.fingerprint(entry.name)[:16] + array_entry.fingerprint()[:16]
 
 
 def build_cache(
@@ -63,39 +254,6 @@ def build_cache(
     vantage_config: VantageConfig | None = None,
 ):
     """Instantiate a full cache (array + scheme) from its name."""
-    name = scheme.lower()
-    known_kinds = (
-        "vantage-analytical",
-        "vantage-drrip",
-        "vantage",
-        "ta-drrip",
-        "drrip",
-        "srrip",
-        "brrip",
-        "waypart",
-        "pipp",
-        "lru",
-        "lfu",
-        "random",
-    )
-    kind = next((k for k in known_kinds if name.startswith(k + "-")), None)
-    if kind is None:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    array_token = name[len(kind) + 1 :]
+    entry, array_token = split_scheme(scheme)
     array = build_array(array_token, num_lines, seed)
-
-    if kind in ("lru", "srrip", "brrip", "drrip", "ta-drrip", "lfu", "random"):
-        policy = make_policy(kind, num_lines)
-        return BaselineCache(array, policy, num_partitions)
-    if kind == "waypart":
-        return WayPartitionedCache(array, num_partitions)
-    if kind == "pipp":
-        return PIPPCache(array, num_partitions, seed=seed)
-    config = vantage_config or default_vantage_config(array)
-    if kind == "vantage":
-        return VantageCache(array, num_partitions, config)
-    if kind == "vantage-drrip":
-        return VantageDRRIPCache(array, num_partitions, config, seed=seed)
-    if kind == "vantage-analytical":
-        return AnalyticalVantageCache(array, num_partitions, config)
-    raise ValueError(f"unknown scheme {scheme!r}")
+    return entry.builder(array, num_partitions, num_lines, seed, vantage_config)

@@ -128,6 +128,26 @@ class PartitionedCache(ABC):
     def reset_stats(self) -> None:
         self.stats.reset()
 
+    def register_stats(self, group) -> None:
+        """Register the per-partition front-end counters; subclasses
+        extend with scheme-specific registers."""
+        st = self.stats
+        group.stat(
+            "accesses", lambda: list(st.accesses), "per-partition accesses"
+        )
+        group.stat("hits", lambda: list(st.hits), "per-partition hits")
+        group.stat("misses", lambda: list(st.misses), "per-partition misses")
+        group.stat(
+            "evictions",
+            lambda: list(st.evictions),
+            "per-partition evictions (victim's partition)",
+        )
+        group.stat(
+            "partition_sizes",
+            lambda: self.partition_sizes(),
+            "per-partition resident footprints, in lines",
+        )
+
     # ------------------------------------------------------------------
     # Bookkeeping helpers for subclasses.
     # ------------------------------------------------------------------
@@ -200,6 +220,13 @@ class BaselineCache(PartitionedCache):
         # ignore so allocation policies can drive any scheme uniformly.
         if len(units) != self.num_partitions:
             raise ValueError("allocation vector length mismatch")
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        if hasattr(self.policy, "register_stats"):
+            self.policy.register_stats(
+                group.group("replacement", "base replacement policy")
+            )
 
     def access(self, addr: int, part: int = 0) -> bool:
         array = self.array

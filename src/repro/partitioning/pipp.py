@@ -69,6 +69,9 @@ class PIPPCache(PartitionedCache):
         # Classification window counters.
         self._win_accesses = [0] * num_partitions
         self._win_misses = [0] * num_partitions
+        # Telemetry counters.
+        self.promotions = [0] * num_partitions
+        self.stream_windows = [0] * num_partitions
 
     @property
     def allocation_total(self) -> int:
@@ -101,6 +104,8 @@ class PIPPCache(PartitionedCache):
             if accesses:
                 rate = self._win_misses[part] / accesses
                 self.streaming[part] = rate >= self.theta_m
+                if self.streaming[part]:
+                    self.stream_windows[part] += 1
             self._win_accesses[part] = 0
             self._win_misses[part] = 0
 
@@ -142,6 +147,7 @@ class PIPPCache(PartitionedCache):
         if slot is not None:
             self._record_access(part, hit=True)
             if self._rng.random() < self.promotion_probability(part):
+                self.promotions[part] += 1
                 set_index = slot // array.num_ways
                 self._promote(self._chains[set_index], slot)
             return True
@@ -161,3 +167,27 @@ class PIPPCache(PartitionedCache):
         landing = self._install_bookkeeping(addr, part, victim, moves)
         self._chain_insert(chain, self.insertion_position(part), landing)
         return False
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        p = group.group("pipp", "PIPP promotion/insertion state")
+        p.stat(
+            "promotions",
+            lambda: list(self.promotions),
+            "per-partition single-step chain promotions taken",
+        )
+        p.stat(
+            "stream_windows",
+            lambda: list(self.stream_windows),
+            "per-partition windows classified as streaming",
+        )
+        p.stat(
+            "streaming",
+            lambda: list(self.streaming),
+            "per-partition current streaming classification",
+        )
+        p.stat(
+            "alloc_ways",
+            lambda: list(self._alloc_ways),
+            "per-partition allocated way counts",
+        )

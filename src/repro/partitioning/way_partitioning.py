@@ -107,3 +107,16 @@ class WayPartitionedCache(PartitionedCache):
         landing = self._install_bookkeeping(addr, part, victim, moves)
         self.policy.on_insert(landing, part, addr)
         return False
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        w = group.group("waypart", "way-partitioning state")
+        w.stat(
+            "way_counts",
+            lambda: list(self._way_counts),
+            "per-partition assigned way counts",
+        )
+        if hasattr(self.policy, "register_stats"):
+            self.policy.register_stats(
+                group.group("replacement", "intra-partition policy")
+            )

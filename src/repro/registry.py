@@ -1,0 +1,155 @@
+"""Decorator-based plugin registries for schemes, arrays and policies.
+
+The string-token ``if/elif`` factories this replaces had three
+problems: adding a scheme meant editing every consumer (the factory,
+the CLI, the partitioned-or-not inference in the runner, the results
+cache), malformed tokens fell through to silent defaults, and nothing
+tied a cached simulation result to the code that constructed its
+scheme.  A :class:`Registry` fixes all three: construction knowledge
+lives with the component (``@register_scheme`` / ``@register_array``
+next to the class), every entry carries metadata consumers can query
+(description, ``partitioned``), and every entry has a *fingerprint* --
+a digest of its name, version and builder source -- that the results
+cache folds into its keys, so editing how a scheme is built
+invalidates exactly the stale entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered builder plus its metadata."""
+
+    kind: str
+    name: str
+    builder: Callable
+    description: str = ""
+    version: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Digest of everything that defines this entry's behaviour.
+
+        Builder source is included best-effort: editing a builder (or
+        bumping ``version`` for changes the source cannot see, such as
+        a constant moved to another module) changes the fingerprint
+        and thereby invalidates cached results built through it.
+        """
+        try:
+            source = inspect.getsource(self.builder)
+        except (OSError, TypeError):
+            source = repr(self.builder)
+        blob = "\x1f".join(
+            (self.kind, self.name, str(self.version), source)
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class Registry:
+    """Name-keyed registry of builders with prefix matching.
+
+    Registration is via decorator::
+
+        @SCHEMES.register("vantage", partitioned=True,
+                          description="Vantage practical controller")
+        def _build_vantage(array, num_partitions, *, seed, vantage_config):
+            ...
+
+    Lookups are exact (:meth:`get`) or longest-prefix
+    (:meth:`match_prefix`), the latter for composed tokens such as
+    ``vantage-drrip-z4/52`` where the entry name is a prefix of the
+    full spec.  Unknown names raise ``ValueError`` listing what *is*
+    registered -- never a silent default.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        *,
+        description: str = "",
+        version: int = 1,
+        replace: bool = False,
+        **metadata: Any,
+    ) -> Callable[[Callable], Callable]:
+        """Decorator registering ``fn`` as the builder for ``name``."""
+        if not name:
+            raise ValueError(f"{self.kind} name must be non-empty")
+
+        def decorator(fn: Callable) -> Callable:
+            if name in self._entries and not replace:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass replace=True to override"
+                )
+            self._entries[name] = RegistryEntry(
+                kind=self.kind,
+                name=name,
+                builder=fn,
+                description=description,
+                version=version,
+                metadata=dict(metadata),
+            )
+            return fn
+
+        return decorator
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, name: str) -> RegistryEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; registered: "
+                f"{', '.join(sorted(self._entries))}"
+            )
+        return entry
+
+    def match_prefix(
+        self, text: str, sep: str = ""
+    ) -> tuple[RegistryEntry, str] | None:
+        """Longest registered name that prefixes ``text``.
+
+        With ``sep``, the name must be followed by the separator
+        (``vantage-drrip-z4/52`` matches ``vantage-drrip``, not
+        ``vantage``); the returned remainder excludes it.  Returns
+        ``None`` when nothing matches.
+        """
+        for name in sorted(self._entries, key=len, reverse=True):
+            prefix = name + sep
+            if text.startswith(prefix) and len(text) > len(prefix):
+                return self._entries[name], text[len(prefix):]
+        return None
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def entries(self) -> list[RegistryEntry]:
+        return [self._entries[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- fingerprints ---------------------------------------------------
+
+    def fingerprint(self, *names: str) -> str:
+        """Combined fingerprint of the given entries (all when empty)."""
+        selected = names if names else tuple(self.names())
+        digest = hashlib.sha256()
+        for name in selected:
+            digest.update(self.get(name).fingerprint().encode())
+        return digest.hexdigest()

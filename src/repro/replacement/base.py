@@ -73,6 +73,21 @@ class ReplacementPolicy(ABC):
         """
         return 0
 
+    def register_stats(self, group) -> None:
+        """Register policy telemetry; the default exposes the policy
+        name (and PSEL for set-dueling policies, when present)."""
+        group.stat("name", lambda: self.name, "replacement policy name")
+        if hasattr(self, "psel"):
+            group.stat(
+                "psel", lambda: self.psel, "set-dueling policy selector"
+            )
+        if hasattr(self, "psel_per_thread"):
+            group.stat(
+                "psel_per_thread",
+                lambda: list(self.psel_per_thread),
+                "per-thread set-dueling policy selectors",
+            )
+
 
 class SlotStatePolicy(ReplacementPolicy):
     """Helper base class owning one integer of state per slot."""

@@ -23,6 +23,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.analysis.stats import SizeTimeSeries
 from repro.sim.configs import SystemConfig
 from repro.sim.l1 import L1Cache
@@ -114,6 +115,19 @@ class CMPSystem:
         self.size_series = size_series
         self.size_sample_cycles = size_sample_cycles
         self._last_units: list[int] | None = None
+        # Telemetry counters (see repro.telemetry).  The L1 counter
+        # lives on the event loop's hot path, so it is gated by the
+        # construction-time ``_collect`` flag; stall cycles cost
+        # nothing because they are *derived* after the run (cores
+        # advance one cycle per instruction, so time minus instructions
+        # is exactly the stall total); epoch/sample counters are
+        # per-epoch and always maintained.
+        self._collect = telemetry.enabled()
+        self._final_times = [0.0] * config.num_cores
+        self._instruction_counts = [0] * config.num_cores
+        self.l1_hits = [0] * config.num_cores
+        self.epochs = 0
+        self.samples = 0
 
     # ------------------------------------------------------------------
 
@@ -131,11 +145,41 @@ class CMPSystem:
         return list(units)
 
     def _repartition(self) -> None:
+        self.epochs += 1
         units = self.policy.allocate()
         self._last_units = units
         self.cache.set_allocations(units)
         if hasattr(self.cache, "reclassify_streams"):
             self.cache.reclassify_streams()
+
+    def stall_cycles(self) -> list[float]:
+        """Per-core cycles stalled on L2/memory, derived post-run."""
+        return [
+            t - n for t, n in zip(self._final_times, self._instruction_counts)
+        ]
+
+    def register_stats(self, group) -> None:
+        """Register the system's counters into a stats tree group."""
+        group.stat(
+            "stall_cycles",
+            self.stall_cycles,
+            "per-core cycles stalled on L2/memory (derived post-run)",
+        )
+        group.stat(
+            "l1_hits",
+            lambda: list(self.l1_hits),
+            "per-core accesses filtered by the private L1s",
+        )
+        group.stat(
+            "epochs",
+            lambda: self.epochs,
+            "allocation epochs (policy invocations)",
+        )
+        group.stat(
+            "size_samples",
+            lambda: self.samples,
+            "partition-size time-series samples taken",
+        )
 
     def run(self, instructions_per_core: int) -> SystemResult:
         """Simulate until every core has executed the target
@@ -178,6 +222,8 @@ class CMPSystem:
         cache_access = cache.access
         mem_request = memory.request
         observe = policy.observe if policy is not None else None
+        collect = self._collect
+        l1_hits = self.l1_hits
 
         times = [0.0] * num_cores
         use_heap = num_cores > 8
@@ -207,6 +253,7 @@ class CMPSystem:
                     while now >= next_epoch:
                         next_epoch += epoch_cycles
                 if now >= next_sample:
+                    self.samples += 1
                     self.size_series.sample(
                         int(now), self._target_lines(), cache.partition_sizes()
                     )
@@ -229,7 +276,9 @@ class CMPSystem:
             t = now + gap + 1
 
             if l1s is not None and l1s[cid].access(addr):
-                pass  # L1 hit: fully pipelined, no stall.
+                # L1 hit: fully pipelined, no stall.
+                if collect:
+                    l1_hits[cid] += 1
             else:
                 if observe is not None:
                     observe(cid, addr)
@@ -246,6 +295,15 @@ class CMPSystem:
                 heappush(heap, (t, cid))
             else:
                 times[cid] = t
+
+        # Persist the loop's final per-core state so the stall-cycle
+        # telemetry can be derived without any per-access accounting.
+        if use_heap:
+            for t, cid in heap:
+                self._final_times[cid] = t
+        else:
+            self._final_times = list(times)
+        self._instruction_counts = list(instructions)
 
         cores = [
             CoreResult(

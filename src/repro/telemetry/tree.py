@@ -1,0 +1,216 @@
+"""Hierarchical statistics tree (the zsim-style stats spine).
+
+Every layer of the simulation stack registers its counters into one
+tree of :class:`StatGroup` nodes with stable dotted names
+(``cache.hits``, ``array.walks``, ``sim.stall_cycles`` ...).  Leaves
+are *pull-based*: a leaf holds a zero-argument callable that reads the
+owner's live counter when the tree is snapshotted, so hot paths keep
+incrementing plain Python ints and lists and pay nothing for being
+observable.  :meth:`StatGroup.snapshot` walks the tree once, after the
+simulation, and returns plain JSON-encodable data.
+
+Three leaf flavours cover the paper's needs:
+
+- plain stats (:meth:`StatGroup.stat`): scalars or per-partition /
+  per-core vectors read from a callable;
+- :class:`Distribution`: bounded-memory summaries (count / total /
+  min / max / mean) of per-event values such as job wall times;
+- :class:`IntervalSeries`: ``(time, value)`` samples for Figure-8
+  style time series.
+
+Names are restricted to ``[a-z0-9_]`` so dotted paths are unambiguous
+and stable across PRs -- they are the public schema that analysis
+code, golden tests, and the JSON export all share.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Iterator
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"stat name {name!r} is invalid: use lowercase [a-z0-9_] only"
+        )
+    return name
+
+
+class Stat:
+    """A leaf: a named, described, lazily-read value."""
+
+    __slots__ = ("name", "desc", "_fn")
+
+    kind = "stat"
+
+    def __init__(self, name: str, fn: Callable[[], Any], desc: str = ""):
+        self.name = _check_name(name)
+        self.desc = desc
+        self._fn = fn
+
+    def value(self):
+        return self._fn()
+
+
+class Distribution:
+    """Bounded-memory summary of a stream of numeric observations."""
+
+    __slots__ = ("name", "desc", "count", "total", "min", "max")
+
+    kind = "distribution"
+
+    def __init__(self, name: str, desc: str = ""):
+        self.name = _check_name(name)
+        self.desc = desc
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def record(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if self.min is None or x < self.min:
+            self.min = x
+        if self.max is None or x > self.max:
+            self.max = x
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def value(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class IntervalSeries:
+    """Interval time series: ``(time, value)`` samples."""
+
+    __slots__ = ("name", "desc", "times", "values")
+
+    kind = "series"
+
+    def __init__(self, name: str, desc: str = ""):
+        self.name = _check_name(name)
+        self.desc = desc
+        self.times: list = []
+        self.values: list = []
+
+    def sample(self, time, value) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def value(self) -> dict:
+        return {"times": list(self.times), "values": list(self.values)}
+
+
+class StatGroup:
+    """One node of the stats tree: named children (groups and leaves).
+
+    Children keep registration order, so snapshots are reproducible
+    byte for byte -- which is what lets golden tests pin whole trees.
+    """
+
+    __slots__ = ("name", "desc", "_children")
+
+    def __init__(self, name: str, desc: str = ""):
+        self.name = _check_name(name)
+        self.desc = desc
+        self._children: dict[str, Any] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def _add(self, child):
+        existing = self._children.get(child.name)
+        if existing is not None:
+            raise ValueError(
+                f"duplicate stat name {child.name!r} in group {self.name!r}"
+            )
+        self._children[child.name] = child
+        return child
+
+    def group(self, name: str, desc: str = "") -> "StatGroup":
+        """Get or create a child group."""
+        child = self._children.get(name)
+        if child is not None:
+            if not isinstance(child, StatGroup):
+                raise ValueError(f"{name!r} is a leaf, not a group")
+            return child
+        return self._add(StatGroup(name, desc))
+
+    def stat(self, name: str, fn: Callable[[], Any], desc: str = "") -> Stat:
+        """Register a lazily-read leaf (scalar or vector)."""
+        return self._add(Stat(name, fn, desc))
+
+    def distribution(self, name: str, desc: str = "") -> Distribution:
+        return self._add(Distribution(name, desc))
+
+    def series(self, name: str, desc: str = "") -> IntervalSeries:
+        return self._add(IntervalSeries(name, desc))
+
+    # -- introspection --------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._children
+
+    def __getitem__(self, name: str):
+        return self._children[name]
+
+    def children(self) -> Iterator:
+        return iter(self._children.values())
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The whole subtree as plain JSON-encodable data."""
+        out: dict[str, Any] = {}
+        for name, child in self._children.items():
+            if isinstance(child, StatGroup):
+                out[name] = child.snapshot()
+            else:
+                out[name] = child.value()
+        return out
+
+    def flatten(self, prefix: str = "") -> dict[str, Any]:
+        """Dotted-name view: ``{"cache.hits": [...], ...}``."""
+        out: dict[str, Any] = {}
+        for name, child in self._children.items():
+            path = f"{prefix}{name}"
+            if isinstance(child, StatGroup):
+                out.update(child.flatten(path + "."))
+            else:
+                out[path] = child.value()
+        return out
+
+    def schema(self, prefix: str = "") -> list[tuple[str, str, str]]:
+        """``(dotted name, kind, description)`` for every leaf."""
+        rows: list[tuple[str, str, str]] = []
+        for name, child in self._children.items():
+            path = f"{prefix}{name}"
+            if isinstance(child, StatGroup):
+                rows.extend(child.schema(path + "."))
+            else:
+                rows.append((path, child.kind, child.desc))
+        return rows
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def dump(self, path) -> None:
+        """Write the snapshot to ``path`` as JSON."""
+        from pathlib import Path
+
+        Path(path).write_text(self.to_json() + "\n")

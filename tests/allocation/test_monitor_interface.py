@@ -1,0 +1,89 @@
+"""UMonitor and RRIPMonitor present one telemetry interface
+(:class:`repro.telemetry.SampledMonitor`), so UCP reports through a
+single path with no per-monitor capability probing."""
+
+import random
+
+import pytest
+
+from repro.allocation import UCPPolicy, UMonitor
+from repro.allocation.umon_rrip import RRIPMonitor
+from repro.telemetry import SampledMonitor, StatGroup
+
+MONITORS = [
+    lambda: UMonitor(8, 256, sampled_sets=16, seed=3),
+    lambda: RRIPMonitor(8, 256, sampled_sets=16, seed=3),
+]
+
+
+@pytest.mark.parametrize("factory", MONITORS)
+class TestSampledMonitorContract:
+    def test_is_sampled_monitor(self, factory):
+        assert isinstance(factory(), SampledMonitor)
+
+    def test_sample_cache_memoises_decisions(self, factory):
+        mon = factory()
+        rng = random.Random(11)
+        addrs = [rng.randrange(1 << 30) for _ in range(500)]
+        for addr in addrs:
+            mon.observe(addr)
+        get = mon.sample_filter()
+        sampled = 0
+        for addr in addrs:
+            decision = get(addr, -1)
+            assert decision != -1  # every observed address is decided
+            if decision is not None:
+                assert isinstance(decision, int)
+                sampled += 1
+        assert 0 < sampled < len(addrs)  # both outcomes occur
+
+    def test_observe_equals_access(self, factory):
+        a, b = factory(), factory()
+        rng = random.Random(12)
+        addrs = [rng.randrange(1 << 30) for _ in range(300)]
+        for addr in addrs:
+            a.observe(addr)
+            b.access(addr)
+        assert a.miss_curve() == b.miss_curve()
+        assert a._sample_cache == b._sample_cache
+
+    def test_register_stats_includes_decided_addresses(self, factory):
+        mon = factory()
+        mon.observe(1234)
+        group = StatGroup("mon")
+        mon.register_stats(group)
+        assert group.snapshot()["decided_addresses"] == 1
+
+
+@pytest.mark.parametrize("factory", MONITORS)
+def test_ucp_observe_uses_uniform_path(factory):
+    """UCP's hot-path skip works identically for both monitor kinds:
+    skipped addresses never reach the monitor, forwarded ones do."""
+    monitors = [factory() for _ in range(2)]
+    policy = UCPPolicy(monitors, total_units=16)
+    rng = random.Random(13)
+    addrs = [rng.randrange(1 << 30) for _ in range(400)]
+    for addr in addrs:
+        policy.observe(0, addr)
+        policy.observe(0, addr)  # second sight exercises the skip path
+
+    get = monitors[0].sample_filter()
+    sampled = sum(1 for a in set(addrs) if get(a, -1) is not None)
+    assert sampled > 0
+    # Every unique address was decided through observe().
+    assert all(get(a, -1) != -1 for a in addrs)
+    # The untouched partition's monitor saw nothing.
+    assert len(monitors[1]._sample_cache) == 0
+    assert policy.observed[1] == 0
+    assert policy.observed[0] > 0
+
+
+def test_ucp_allocate_works_with_rrip_monitors():
+    monitors = [RRIPMonitor(8, 256, sampled_sets=16, seed=s) for s in range(2)]
+    policy = UCPPolicy(monitors, total_units=8)
+    rng = random.Random(14)
+    for _ in range(2000):
+        policy.observe(rng.randrange(2), rng.randrange(1 << 14))
+    units = policy.allocate()
+    assert sum(units) == 8
+    assert policy.last_allocation == units

@@ -59,3 +59,43 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "throughput" in out
         assert "managed-eviction fraction" in out
+
+    def test_run_mix_stats_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "stats.json"
+        code = main(
+            [
+                "run-mix",
+                "--instructions",
+                "20000",
+                "--stats-json",
+                str(path),
+            ]
+        )
+        assert code == 0
+        stats = json.loads(path.read_text())
+        assert {"cache", "array", "sim", "policy"} <= set(stats)
+        assert sum(stats["cache"]["accesses"]) > 0
+
+    def test_schemes_table(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "vantage" in out
+        assert "partitioned" in out
+        assert "baseline" in out
+        assert "zcache" in out
+
+    def test_schemes_list_bare_names(self, capsys):
+        assert main(["schemes", "--list"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert "vantage" in lines
+        assert "vantage-drrip" in lines
+        assert "lru" in lines
+        # Bare names only: one token per line, no descriptions.
+        assert all(" " not in line for line in lines)
+
+    def test_schemes_fingerprints(self, capsys):
+        assert main(["schemes", "--fingerprints"]) == 0
+        out = capsys.readouterr().out
+        assert "[" in out

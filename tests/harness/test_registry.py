@@ -1,0 +1,185 @@
+"""Tests for the plugin registry and the registry-backed factories."""
+
+import pytest
+
+from repro.harness.schemes import (
+    ARRAYS,
+    SCHEMES,
+    build_array,
+    scheme_fingerprint,
+    scheme_partitioned,
+    split_scheme,
+)
+from repro.registry import Registry
+
+
+class TestRegistry:
+    def _make(self):
+        reg = Registry("thing")
+
+        @reg.register("alpha", description="first", flavour="a")
+        def build_alpha():
+            return "alpha"
+
+        @reg.register("alpha-beta", description="second")
+        def build_alpha_beta():
+            return "alpha-beta"
+
+        return reg
+
+    def test_get_and_metadata(self):
+        reg = self._make()
+        entry = reg.get("alpha")
+        assert entry.builder() == "alpha"
+        assert entry.description == "first"
+        assert entry.metadata == {"flavour": "a"}
+
+    def test_get_unknown_lists_registered(self):
+        reg = self._make()
+        with pytest.raises(ValueError, match="alpha, alpha-beta"):
+            reg.get("gamma")
+
+    def test_duplicate_rejected_unless_replace(self):
+        reg = self._make()
+        with pytest.raises(ValueError, match="already registered"):
+
+            @reg.register("alpha")
+            def again():
+                pass
+
+        @reg.register("alpha", replace=True)
+        def override():
+            return "override"
+
+        assert reg.get("alpha").builder() == "override"
+
+    def test_match_prefix_longest_wins(self):
+        reg = self._make()
+        entry, rest = reg.match_prefix("alpha-beta-z4/52", sep="-")
+        assert entry.name == "alpha-beta"
+        assert rest == "z4/52"
+        entry, rest = reg.match_prefix("alpha-sa16", sep="-")
+        assert entry.name == "alpha"
+        assert rest == "sa16"
+
+    def test_match_prefix_requires_separator_and_remainder(self):
+        reg = self._make()
+        assert reg.match_prefix("alpha", sep="-") is None
+        assert reg.match_prefix("alpha-", sep="-") is None
+        assert reg.match_prefix("alphasa16", sep="-") is None
+
+    def test_introspection(self):
+        reg = self._make()
+        assert reg.names() == ["alpha", "alpha-beta"]
+        assert "alpha" in reg
+        assert len(reg) == 2
+
+    def test_fingerprints_distinguish_entries(self):
+        reg = self._make()
+        fp_a = reg.get("alpha").fingerprint()
+        fp_b = reg.get("alpha-beta").fingerprint()
+        assert fp_a != fp_b
+        # Stable across calls.
+        assert fp_a == reg.get("alpha").fingerprint()
+        # Combined digest differs from per-entry digests.
+        assert reg.fingerprint("alpha") not in (fp_a, fp_b)
+
+
+class TestMalformedTokens:
+    """No silent defaults: every malformed token raises ValueError
+    naming the offending token."""
+
+    @pytest.mark.parametrize(
+        "token",
+        ["z4/", "z/52", "z/", "sa", "sax", "sa0", "sa-4", "z4/0", "zx/52",
+         "skew", "rc", "rc0"],
+    )
+    def test_malformed_raises_naming_token(self, token):
+        with pytest.raises(ValueError, match=repr(token)):
+            build_array(token, 1024)
+
+    def test_unknown_kind_lists_registered(self):
+        with pytest.raises(ValueError, match="rc, sa, skew, z"):
+            build_array("tcam8", 1024)
+
+    def test_bare_z4_uses_documented_default(self):
+        array = build_array("z4", 1024)
+        assert array.candidates_per_miss == 52
+
+
+class TestSchemeRegistry:
+    def test_all_paper_schemes_registered(self):
+        for name in ("vantage", "vantage-drrip", "vantage-analytical",
+                     "waypart", "pipp", "lru", "drrip", "ta-drrip"):
+            assert name in SCHEMES
+
+    def test_split_scheme_composed_names(self):
+        entry, array = split_scheme("vantage-drrip-z4/52")
+        assert entry.name == "vantage-drrip"
+        assert array == "z4/52"
+        entry, array = split_scheme("ta-drrip-sa16")
+        assert entry.name == "ta-drrip"
+        assert array == "sa16"
+
+    def test_split_scheme_unknown(self):
+        with pytest.raises(ValueError, match="colouring"):
+            split_scheme("colouring-sa16")
+
+    @pytest.mark.parametrize(
+        "scheme,expected",
+        [
+            ("vantage-z4/52", True),
+            ("waypart-sa16", True),
+            ("pipp-sa64", True),
+            ("lru-sa16", False),
+            ("drrip-z4/16", False),
+        ],
+    )
+    def test_scheme_partitioned(self, scheme, expected):
+        assert scheme_partitioned(scheme) is expected
+
+    def test_every_scheme_has_partitioned_metadata(self):
+        for entry in SCHEMES.entries():
+            assert "partitioned" in entry.metadata
+
+    def test_array_registry_covers_tokens(self):
+        assert ARRAYS.names() == ["rc", "sa", "skew", "z"]
+
+
+class TestSchemeFingerprint:
+    def test_stable_and_scheme_specific(self):
+        fp = scheme_fingerprint("vantage-z4/52")
+        assert fp == scheme_fingerprint("vantage-z4/52")
+        assert len(fp) == 32
+        assert fp != scheme_fingerprint("vantage-drrip-z4/52")
+        # Same scheme on a different array kind differs too.
+        assert fp != scheme_fingerprint("vantage-sa16")
+
+    def test_same_kind_different_params_share_fingerprint(self):
+        # The fingerprint covers construction *code*; parameters are
+        # already part of the job key.
+        assert scheme_fingerprint("vantage-z4/52") == scheme_fingerprint(
+            "vantage-z4/16"
+        )
+
+    def test_unknown_array_raises(self):
+        with pytest.raises(ValueError, match="tcam8"):
+            scheme_fingerprint("vantage-tcam8")
+
+
+class TestCacheKeyFingerprint:
+    def test_job_key_depends_on_registry_fingerprint(self, monkeypatch):
+        from repro.harness import results_cache
+        from repro.harness.parallel import SimJob
+        from repro.sim import small_system
+        from repro.workloads import make_mix
+
+        job = SimJob(make_mix("sftn", 1), "vantage-z4/52", small_system(), 1000)
+        key_before = results_cache.job_key(job)
+        assert key_before == results_cache.job_key(job)
+
+        monkeypatch.setattr(
+            "repro.harness.schemes.scheme_fingerprint",
+            lambda scheme: "0" * 32,
+        )
+        assert results_cache.job_key(job) != key_before

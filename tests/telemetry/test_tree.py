@@ -1,0 +1,170 @@
+"""Tests for the hierarchical stats tree (repro.telemetry.tree)."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import Distribution, IntervalSeries, StatGroup
+
+
+class TestNames:
+    @pytest.mark.parametrize("bad", ["Hits", "cache.hits", "l2-miss", "", "a b"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ValueError, match="invalid"):
+            StatGroup(bad)
+
+    def test_valid_names(self):
+        g = StatGroup("root")
+        g.stat("hits_0", lambda: 0)
+        g.group("per_partition_2")
+
+    def test_duplicate_leaf_rejected(self):
+        g = StatGroup("root")
+        g.stat("hits", lambda: 0)
+        with pytest.raises(ValueError, match="duplicate"):
+            g.stat("hits", lambda: 1)
+
+    def test_leaf_group_collision_rejected(self):
+        g = StatGroup("root")
+        g.stat("hits", lambda: 0)
+        with pytest.raises(ValueError):
+            g.group("hits")
+
+
+class TestStat:
+    def test_pull_based_reads_live_counter(self):
+        counter = {"n": 0}
+        g = StatGroup("root")
+        g.stat("n", lambda: counter["n"])
+        counter["n"] = 7
+        assert g.snapshot() == {"n": 7}
+        counter["n"] = 9
+        assert g.snapshot() == {"n": 9}
+
+    def test_group_is_get_or_create(self):
+        g = StatGroup("root")
+        a = g.group("cache")
+        b = g.group("cache")
+        assert a is b
+
+
+class TestDistribution:
+    def test_empty(self):
+        d = Distribution("wall")
+        assert d.value() == {
+            "count": 0, "total": 0.0, "mean": 0.0, "min": None, "max": None,
+        }
+
+    def test_summary(self):
+        d = Distribution("wall")
+        for x in (2.0, 1.0, 4.0):
+            d.record(x)
+        v = d.value()
+        assert v["count"] == 3
+        assert v["total"] == pytest.approx(7.0)
+        assert v["mean"] == pytest.approx(7.0 / 3)
+        assert v["min"] == 1.0
+        assert v["max"] == 4.0
+
+
+class TestIntervalSeries:
+    def test_samples(self):
+        s = IntervalSeries("sizes")
+        s.sample(0, [1, 2])
+        s.sample(100, [3, 4])
+        assert len(s) == 2
+        assert s.value() == {"times": [0, 100], "values": [[1, 2], [3, 4]]}
+
+
+class TestExport:
+    def _tree(self):
+        g = StatGroup("root")
+        cache = g.group("cache", "front-end")
+        cache.stat("hits", lambda: [1, 2], "per-partition hits")
+        d = cache.distribution("lat", "latency")
+        d.record(3.0)
+        sim = g.group("sim")
+        sim.stat("epochs", lambda: 5)
+        return g
+
+    def test_snapshot_nested(self):
+        snap = self._tree().snapshot()
+        assert snap["cache"]["hits"] == [1, 2]
+        assert snap["cache"]["lat"]["count"] == 1
+        assert snap["sim"]["epochs"] == 5
+
+    def test_snapshot_preserves_registration_order(self):
+        snap = self._tree().snapshot()
+        assert list(snap) == ["cache", "sim"]
+        assert list(snap["cache"]) == ["hits", "lat"]
+
+    def test_flatten_dotted_names(self):
+        flat = self._tree().flatten()
+        assert flat["cache.hits"] == [1, 2]
+        assert flat["sim.epochs"] == 5
+
+    def test_schema_lists_all_leaves(self):
+        rows = self._tree().schema()
+        assert ("cache.hits", "stat", "per-partition hits") in rows
+        assert ("cache.lat", "distribution", "latency") in rows
+        assert ("sim.epochs", "stat", "") in rows
+
+    def test_to_json_round_trips(self):
+        g = self._tree()
+        assert json.loads(g.to_json()) == g.snapshot()
+
+    def test_dump(self, tmp_path):
+        path = tmp_path / "stats.json"
+        g = self._tree()
+        g.dump(path)
+        assert json.loads(path.read_text()) == g.snapshot()
+
+
+class TestEnabledFlag:
+    def test_set_enabled_round_trip(self):
+        prev = telemetry.enabled()
+        try:
+            telemetry.set_enabled(False)
+            assert not telemetry.enabled()
+            telemetry.set_enabled(True)
+            assert telemetry.enabled()
+        finally:
+            telemetry.set_enabled(prev)
+
+    def test_disabled_array_skips_walk_counters(self):
+        from repro.arrays import SetAssociativeArray
+
+        prev = telemetry.enabled()
+        try:
+            telemetry.set_enabled(False)
+            array = SetAssociativeArray(256, 4, seed=0)
+            array.candidate_slots(12345)
+            assert array.stat_walks == 0
+            telemetry.set_enabled(True)
+            array = SetAssociativeArray(256, 4, seed=0)
+            array.candidate_slots(12345)
+            assert array.stat_walks == 1
+        finally:
+            telemetry.set_enabled(prev)
+
+
+class TestSystemTree:
+    def test_groups_present_for_partitioned_run(self):
+        from repro.harness import build_policy
+        from repro.harness.schemes import build_cache
+        from repro.sim import CMPSystem, small_system
+        from repro.workloads import make_mix
+
+        config = small_system()
+        cache = build_cache("vantage-z4/52", config.l2_lines, config.num_cores)
+        policy = build_policy(cache, config)
+        system = CMPSystem(cache, make_mix("sftn", 1).trace_factories(0), config,
+                           policy=policy)
+        tree = telemetry.system_tree(cache=cache, system=system, policy=policy)
+        snap = tree.snapshot()
+        assert set(snap) == {"cache", "array", "sim", "policy"}
+        assert "vantage" in snap["cache"]
+        assert "walks" in snap["array"]
+        assert "stall_cycles" in snap["sim"]
+        assert "monitors" in snap["policy"]
