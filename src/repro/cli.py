@@ -12,6 +12,9 @@ Subcommands:
 - ``bench``: time the optimized simulation kernels against the
   reference implementations and check the telemetry overhead budget
   (writes ``BENCH_<tag>.json``).
+- ``traces``: inspect (``--list``, the default) or delete
+  (``--purge``) the on-disk trace-chunk store named by
+  ``REPRO_TRACE_CACHE``.
 
 Example::
 
@@ -132,6 +135,36 @@ def _cmd_schemes(args) -> int:
     return 0
 
 
+def _cmd_traces(args) -> int:
+    from repro.traces import TraceStore
+
+    root = TraceStore.disk_dir()
+    if root is None:
+        print("REPRO_TRACE_CACHE is not set; the on-disk trace store is off")
+        return 1
+    if args.purge:
+        removed = TraceStore.purge_disk()
+        print(f"purged {removed} trace(s) from {root}")
+        return 0
+    rows = TraceStore.list_disk()
+    print(f"trace store at {root}: {len(rows)} trace(s)")
+    if rows:
+        print(
+            f"{'app':14s} {'kind':>12s} {'base':>16s} {'seed':>6s} "
+            f"{'chunks':>7s} {'MiB':>8s} {'key':>10s}"
+        )
+        for row in rows:
+            print(
+                f"{row.get('name', '?'):14s} {row.get('kind', '?'):>12s} "
+                f"{row.get('base', 0):>16x} {row.get('seed', 0):>6d} "
+                f"{row['chunks']:>7d} {row['bytes'] / (1 << 20):>8.1f} "
+                f"{row['key'][:10]:>10s}"
+            )
+        total = sum(row["bytes"] for row in rows)
+        print(f"total: {total / (1 << 20):.1f} MiB")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from repro.harness.bench import run_bench
 
@@ -200,6 +233,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "traces", help="inspect or purge the on-disk trace-chunk store"
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list stored traces (the default action)",
+    )
+    p.add_argument(
+        "--purge",
+        action="store_true",
+        help="delete every stored trace chunk",
+    )
+
+    p = sub.add_parser(
         "bench", help="time the optimized kernels against the reference"
     )
     p.add_argument(
@@ -221,6 +268,7 @@ _COMMANDS = {
     "overheads": _cmd_overheads,
     "run-mix": _cmd_run_mix,
     "schemes": _cmd_schemes,
+    "traces": _cmd_traces,
     "bench": _cmd_bench,
 }
 

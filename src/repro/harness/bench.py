@@ -15,6 +15,12 @@ and their :class:`~repro.sim.system.SystemResult`s are asserted
 *equal*: the optimizations are strength reductions, not behaviour
 changes, so any divergence fails the bench run loudly.
 
+:func:`bench_trace_pipeline` additionally pins the batched trace
+pipeline (see :mod:`repro.traces`): the full headline kernel with the
+chunk cursor versus the generator feed, and the trace path alone
+(generator production versus warm chunk replay), again with equality
+asserted on both.
+
 The run also measures the telemetry overhead on the headline kernel
 (stats collection on vs off) and fails if it exceeds
 :data:`STATS_OVERHEAD_BUDGET` -- the stats pipeline must stay cheap
@@ -61,12 +67,20 @@ KERNELS = (
 )
 
 
-def _run_once(scheme: str, partitioned: bool, instructions: int, reference: bool):
+def _run_once(
+    scheme: str,
+    partitioned: bool,
+    instructions: int,
+    reference: bool,
+    use_chunks: bool | None = None,
+):
     """Build a fresh system and time one simulation of the kernel.
 
     Returns ``(elapsed, result, tree)``; ``tree`` is the run's stats
     tree for optimized runs and ``None`` for reference runs (the
-    reference wrappers predate the telemetry spine).
+    reference wrappers predate the telemetry spine).  ``use_chunks``
+    pins the optimized loop's trace feed (chunk cursor vs generator);
+    reference runs always use the generator feed.
     """
     config = small_system()
     mix = make_mix(MIX_CLASS, MIX_INDEX)
@@ -76,7 +90,13 @@ def _run_once(scheme: str, partitioned: bool, instructions: int, reference: bool
         as_reference_cache(cache)
         if policy is not None:
             as_reference_policy(policy)
-    system = CMPSystem(cache, mix.trace_factories(SEED), config, policy=policy)
+    system = CMPSystem(
+        cache,
+        mix.trace_factories(SEED),
+        config,
+        policy=policy,
+        use_chunks=use_chunks,
+    )
     tree = None
     if not reference:
         tree = telemetry.system_tree(cache=cache, system=system, policy=policy)
@@ -114,6 +134,119 @@ def bench_kernel(
         "speedup": round(ref_best / opt_best, 3) if opt_best else 0.0,
         "identical": identical,
         "stats": opt_tree.snapshot() if opt_tree is not None else None,
+    }
+
+
+#: Pairs per core the trace-feed micro-kernel produces/replays.
+FEED_PAIRS = 50_000
+
+
+def bench_trace_pipeline(instructions: int, rounds: int) -> dict:
+    """The trace pipeline's two speedups on the pinned kernel.
+
+    ``kernel``: the full pinned simulation with the chunk cursor
+    (store warm, the sweep steady state) against the same optimized
+    loop fed by per-event generator calls -- both must produce *equal*
+    results.  This number is bounded by the trace feed's share of the
+    kernel (~25% after PR 1's miss-path work), so it is modest.
+
+    ``feed``: trace production/consumption alone -- pulling
+    ``FEED_PAIRS`` pairs per core of the pinned mix through fresh
+    generators versus walking warm chunk buffers.  This is the
+    trace-path speedup the chunk store delivers to every job in a
+    sweep after the first.
+    """
+    from repro import traces
+
+    scheme, partitioned = KERNELS[0]
+    store = traces.get_store()
+
+    # Warm the store (untimed): sweeps compile each mix's chunks once.
+    _run_once(scheme, partitioned, instructions, False, use_chunks=True)
+
+    chunk_best = gen_best = None
+    chunk_result = gen_result = None
+    for _ in range(rounds):
+        elapsed, chunk_result, _ = _run_once(
+            scheme, partitioned, instructions, False, use_chunks=True
+        )
+        if chunk_best is None or elapsed < chunk_best:
+            chunk_best = elapsed
+        elapsed, gen_result, _ = _run_once(
+            scheme, partitioned, instructions, False, use_chunks=False
+        )
+        if gen_best is None or elapsed < gen_best:
+            gen_best = elapsed
+
+    mix = make_mix(MIX_CLASS, MIX_INDEX)
+    specs = [
+        app.trace_spec(base=core << 44, seed=SEED * 1000 + core)
+        for core, app in enumerate(mix.apps)
+    ]
+
+    def feed_generator() -> int:
+        checksum = 0
+        for spec in specs:
+            nxt = spec.generator().__next__
+            for _ in range(FEED_PAIRS):
+                gap, addr = nxt()
+                checksum += gap + addr
+        return checksum
+
+    def feed_chunks() -> int:
+        checksum = 0
+        for spec in specs:
+            index = 0
+            buf = store.chunk_list(spec, 0)
+            limit = len(buf)
+            pos = 0
+            for _ in range(FEED_PAIRS):
+                if pos >= limit:
+                    index += 1
+                    buf = store.chunk_list(spec, index)
+                    limit = len(buf)
+                    pos = 0
+                checksum += buf[pos] + buf[pos + 1]
+                pos += 2
+        return checksum
+
+    feed_chunks()  # warm any chunks past the kernel's reach
+    feed_gen_best = feed_chunk_best = None
+    gen_sum = chunk_sum = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        gen_sum = feed_generator()
+        elapsed = time.perf_counter() - start
+        if feed_gen_best is None or elapsed < feed_gen_best:
+            feed_gen_best = elapsed
+        start = time.perf_counter()
+        chunk_sum = feed_chunks()
+        elapsed = time.perf_counter() - start
+        if feed_chunk_best is None or elapsed < feed_chunk_best:
+            feed_chunk_best = elapsed
+
+    return {
+        "scheme": scheme,
+        "instructions": instructions,
+        "rounds": rounds,
+        "kernel": {
+            "generator_s": round(gen_best, 4),
+            "chunk_s": round(chunk_best, 4),
+            "speedup": round(gen_best / chunk_best, 3) if chunk_best else 0.0,
+            "identical": chunk_result == gen_result,
+        },
+        "feed": {
+            "pairs_per_core": FEED_PAIRS,
+            "generator_s": round(feed_gen_best, 4),
+            "chunk_s": round(feed_chunk_best, 4),
+            "speedup": (
+                round(feed_gen_best / feed_chunk_best, 3)
+                if feed_chunk_best
+                else 0.0
+            ),
+            "identical": gen_sum == chunk_sum,
+        },
+        "store": store.counters(),
     }
 
 
@@ -188,6 +321,7 @@ def run_bench(
         bench_kernel(scheme, partitioned, instructions, rounds)
         for scheme, partitioned in KERNELS
     ]
+    trace = bench_trace_pipeline(instructions, rounds)
     stats_overhead = bench_stats_overhead(instructions, rounds)
     budget = SMOKE_STATS_OVERHEAD_BUDGET if smoke else STATS_OVERHEAD_BUDGET
     report = {
@@ -200,6 +334,7 @@ def run_bench(
             "seed": SEED,
         },
         "kernels": kernels,
+        "trace": trace,
         "stats_overhead": {**stats_overhead, "budget": budget},
     }
 
@@ -213,6 +348,21 @@ def run_bench(
             f"{row['optimized_s']:>9.3f}s {row['speedup']:>7.2f}x "
             f"{str(row['identical']):>10s}"
         )
+    kernel_part = trace["kernel"]
+    feed_part = trace["feed"]
+    print(
+        f"trace pipeline on {trace['scheme']}: kernel "
+        f"{kernel_part['speedup']:.2f}x (chunk {kernel_part['chunk_s']:.3f}s / "
+        f"generator {kernel_part['generator_s']:.3f}s), feed "
+        f"{feed_part['speedup']:.2f}x over {feed_part['pairs_per_core']} "
+        f"pairs/core"
+    )
+    store = trace["store"]
+    print(
+        f"trace store: {store['mem_hits']} mem hits, "
+        f"{store['disk_hits']} disk hits, {store['compiles']} compiles, "
+        f"{store['bytes_written']} bytes written"
+    )
     print(
         f"stats overhead on {stats_overhead['scheme']}: "
         f"{stats_overhead['overhead']:+.2%} "
@@ -228,6 +378,14 @@ def run_bench(
     if mismatched:
         raise AssertionError(
             f"optimized and reference kernels diverge on: {', '.join(mismatched)}"
+        )
+    if not trace["kernel"]["identical"]:
+        raise AssertionError(
+            f"chunk-cursor and generator feeds diverge on {trace['scheme']}"
+        )
+    if not trace["feed"]["identical"]:
+        raise AssertionError(
+            "chunk replay diverges from generator output in the feed kernel"
         )
     if not stats_overhead["identical"]:
         raise AssertionError(

@@ -17,6 +17,9 @@ one baseline simulation across schemes.
 Environment knobs:
 
 - ``REPRO_WORKERS``: worker process count (default: CPU count).
+- ``REPRO_TRACE_CACHE``: directory for the on-disk trace-chunk store
+  (see :mod:`repro.traces`); with it set, workers share compiled
+  address streams across jobs instead of each regenerating them.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro import traces
 from repro.analysis.stats import SizeTimeSeries
 from repro.core import VantageConfig
 from repro.harness import results_cache
@@ -52,6 +56,9 @@ def register_stats(group) -> None:
     )
     results_cache.register_stats(
         group.group("results_cache", "on-disk result cache")
+    )
+    traces.register_stats(
+        group.group("trace_store", "compiled trace-chunk store")
     )
 
 
@@ -163,8 +170,19 @@ def run_jobs(
         if workers <= 1:
             fresh = [_execute(job) for _, job in pending]
         else:
+            # Batch jobs per worker dispatch: submitting one job at a
+            # time pays a pickle round-trip per job, which dominates on
+            # large sweeps of short simulations.  ``map`` keeps result
+            # order aligned with ``pending`` regardless of chunksize.
+            chunksize = max(1, len(pending) // (workers * 4))
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(_execute, (job for _, job in pending)))
+                fresh = list(
+                    pool.map(
+                        _execute,
+                        (job for _, job in pending),
+                        chunksize=chunksize,
+                    )
+                )
         for (key, _), outcome in zip(pending, fresh):
             if outcome.wall_time_s is not None:
                 JOB_WALL_TIME.record(outcome.wall_time_s)

@@ -233,7 +233,14 @@ def reference_run(system, instructions_per_core: int) -> SystemResult:
             gap, addr = next(iterators[cid])
         except StopIteration:
             iterators[cid] = system.trace_factories[cid]()
-            gap, addr = next(iterators[cid])
+            try:
+                gap, addr = next(iterators[cid])
+            except StopIteration:
+                # Never let a raw StopIteration escape the event loop.
+                raise ValueError(
+                    f"trace for core {cid} is empty: its factory produced "
+                    f"an iterator with no (gap, addr) items"
+                ) from None
 
         instructions[cid] += gap + 1
         t = now + gap + 1

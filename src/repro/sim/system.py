@@ -21,6 +21,7 @@ for Figure 8-style time series.
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass, field
 
 from repro import telemetry
@@ -28,6 +29,7 @@ from repro.analysis.stats import SizeTimeSeries
 from repro.sim.configs import SystemConfig
 from repro.sim.l1 import L1Cache
 from repro.sim.memory import MemoryModel
+from repro.traces import TraceSpec, get_store
 
 
 @dataclass
@@ -80,6 +82,13 @@ class CMPSystem:
         then memory instructions, not L2 accesses).
     size_series / size_sample_cycles:
         Optional :class:`SizeTimeSeries` sampled on the given period.
+    use_chunks:
+        Feed cores whose factory is a :class:`~repro.traces.TraceSpec`
+        from the compiled chunk store instead of calling their
+        generators per event.  ``None`` (default) reads
+        ``REPRO_TRACE_CHUNKS`` (on unless set to ``0``).  Both feeds
+        produce bitwise-identical results (asserted by the parity
+        tests); plain callables always use the generator path.
     """
 
     def __init__(
@@ -91,6 +100,7 @@ class CMPSystem:
         use_l1: bool = False,
         size_series: SizeTimeSeries | None = None,
         size_sample_cycles: int | None = None,
+        use_chunks: bool | None = None,
     ):
         self.cache = cache
         self.trace_factories = list(traces)
@@ -123,9 +133,13 @@ class CMPSystem:
         # is exactly the stall total); epoch/sample counters are
         # per-epoch and always maintained.
         self._collect = telemetry.enabled()
+        if use_chunks is None:
+            use_chunks = os.environ.get("REPRO_TRACE_CHUNKS", "1") != "0"
+        self._use_chunks = use_chunks
         self._final_times = [0.0] * config.num_cores
         self._instruction_counts = [0] * config.num_cores
         self.l1_hits = [0] * config.num_cores
+        self.trace_chunks = [0] * config.num_cores
         self.epochs = 0
         self.samples = 0
 
@@ -171,6 +185,11 @@ class CMPSystem:
             "per-core accesses filtered by the private L1s",
         )
         group.stat(
+            "trace_chunks",
+            lambda: list(self.trace_chunks),
+            "per-core trace chunks fetched from the chunk store",
+        )
+        group.stat(
             "epochs",
             lambda: self.epochs,
             "allocation epochs (policy invocations)",
@@ -181,6 +200,22 @@ class CMPSystem:
             "partition-size time-series samples taken",
         )
 
+    def _restart_trace(self, cid: int, iterators: list, nexts: list):
+        """Restart core ``cid``'s finite trace and return its first
+        item.  A factory that produces an *empty* iterator raises a
+        ``ValueError`` naming the core -- never a raw ``StopIteration``
+        escaping the event loop."""
+        it = self.trace_factories[cid]()
+        iterators[cid] = it
+        nexts[cid] = it.__next__
+        try:
+            return it.__next__()
+        except StopIteration:
+            raise ValueError(
+                f"trace for core {cid} is empty: its factory produced an "
+                f"iterator with no (gap, addr) items"
+            ) from None
+
     def run(self, instructions_per_core: int) -> SystemResult:
         """Simulate until every core has executed the target
         instruction count; IPC is measured at each core's crossing
@@ -189,11 +224,23 @@ class CMPSystem:
         This is the optimized event loop (the original is preserved as
         :func:`repro.sim.reference.reference_run`); both produce
         identical results, which ``tests/sim/test_reference_parity.py``
-        asserts.  Cores with few peers are scheduled by a linear argmin
-        scan instead of a heap -- strict ``<`` picks the lowest core ID
-        among ties, matching the ``(t, cid)`` heap ordering -- and the
-        epoch/sample checks collapse into one ``next_service`` compare
-        per event.
+        asserts.  Three strength reductions over the reference:
+
+        - cores with few peers are scheduled by a linear two-minimum
+          scan instead of a heap -- strict ``<`` picks the lowest core
+          ID among ties, matching the ``(t, cid)`` heap ordering -- and
+          the epoch/sample checks collapse into one ``next_service``
+          compare per event;
+        - *run continuation*: after an event, if the core's new time is
+          still ahead of every other core (same ``(t, cid)`` order a
+          heap pop would use), the loop keeps consuming that core's
+          trace without re-selecting -- bursty low-gap cores execute
+          long runs with no scheduling work at all;
+        - the *chunk cursor*: cores whose trace factory is a
+          :class:`~repro.traces.TraceSpec` read ``(gap, addr)`` pairs
+          by index out of flat buffers compiled ahead of time by the
+          trace store, instead of resuming a generator frame per event;
+          refills happen out of the hot loop, once per 64K-pair chunk.
         """
         config = self.config
         cache = self.cache
@@ -205,8 +252,38 @@ class CMPSystem:
 
         num_cores = config.num_cores
         trace_factories = self.trace_factories
-        iterators = [factory() for factory in trace_factories]
-        nexts = [it.__next__ for it in iterators]
+        store = get_store() if self._use_chunks else None
+        chunked = [
+            store is not None and isinstance(factory, TraceSpec)
+            for factory in trace_factories
+        ]
+        iterators: list = [None] * num_cores
+        nexts: list = [None] * num_cores
+        bufs: list = [()] * num_cores
+        positions = [0] * num_cores
+        limits = [0] * num_cores
+        next_chunk = [0] * num_cores
+        trace_chunks = self.trace_chunks
+
+        def _refill(cid: int) -> list:
+            # One store lookup (LRU / disk / compile) per chunk keeps
+            # trace production out of the hot loop entirely.
+            buf = store.chunk_list(trace_factories[cid], next_chunk[cid])
+            next_chunk[cid] += 1
+            trace_chunks[cid] += 1
+            bufs[cid] = buf
+            limits[cid] = len(buf)
+            positions[cid] = 0
+            return buf
+
+        for cid, factory in enumerate(trace_factories):
+            if chunked[cid]:
+                _refill(cid)  # preload each core's first chunk
+            else:
+                it = factory()
+                iterators[cid] = it
+                nexts[cid] = it.__next__
+
         instructions = [0] * num_cores
         instructions_at_finish = [0] * num_cores
         finished_at: list[float | None] = [None] * num_cores
@@ -238,59 +315,98 @@ class CMPSystem:
         while unfinished:
             if use_heap:
                 now, cid = heappop(heap)
+                second = scid = None
             else:
+                # Two-minimum scan: the runner-up (`second`, `scid`) is
+                # what the continuation check compares against; strict
+                # `<` keeps the lowest ID on ties in both minima,
+                # matching (t, cid) heap order.
                 now = times[0]
                 cid = 0
+                second = inf
+                scid = 0
                 for i in range(1, num_cores):
                     ti = times[i]
                     if ti < now:
+                        second = now
+                        scid = cid
                         now = ti
                         cid = i
+                    elif ti < second:
+                        second = ti
+                        scid = i
 
-            if now >= next_service:
-                if now >= next_epoch:
-                    self._repartition()
-                    while now >= next_epoch:
-                        next_epoch += epoch_cycles
-                if now >= next_sample:
-                    self.samples += 1
-                    self.size_series.sample(
-                        int(now), self._target_lines(), cache.partition_sizes()
+            chunk = chunked[cid]
+            pos = positions[cid]
+            limit = limits[cid]
+            buf = bufs[cid]
+
+            while True:
+                if now >= next_service:
+                    if now >= next_epoch:
+                        self._repartition()
+                        while now >= next_epoch:
+                            next_epoch += epoch_cycles
+                    if now >= next_sample:
+                        self.samples += 1
+                        self.size_series.sample(
+                            int(now), self._target_lines(), cache.partition_sizes()
+                        )
+                        while now >= next_sample:
+                            next_sample += sample_period
+                    next_service = (
+                        next_epoch if next_epoch < next_sample else next_sample
                     )
-                    while now >= next_sample:
-                        next_sample += sample_period
-                next_service = (
-                    next_epoch if next_epoch < next_sample else next_sample
-                )
 
-            try:
-                gap, addr = nexts[cid]()
-            except StopIteration:
-                it = trace_factories[cid]()
-                iterators[cid] = it
-                nexts[cid] = it.__next__
-                gap, addr = it.__next__()
-
-            count = instructions[cid] + gap + 1
-            instructions[cid] = count
-            t = now + gap + 1
-
-            if l1s is not None and l1s[cid].access(addr):
-                # L1 hit: fully pipelined, no stall.
-                if collect:
-                    l1_hits[cid] += 1
-            else:
-                if observe is not None:
-                    observe(cid, addr)
-                if cache_access(addr, cid):
-                    t += hit_latency
+                if chunk:
+                    if pos >= limit:
+                        buf = _refill(cid)
+                        limit = limits[cid]
+                        pos = 0
+                    gap = buf[pos]
+                    addr = buf[pos + 1]
+                    pos += 2
                 else:
-                    t += hit_latency + mem_request(addr, t)
+                    try:
+                        gap, addr = nexts[cid]()
+                    except StopIteration:
+                        gap, addr = self._restart_trace(cid, iterators, nexts)
 
-            if count >= instructions_per_core and finished_at[cid] is None:
-                finished_at[cid] = t
-                instructions_at_finish[cid] = count
-                unfinished -= 1
+                count = instructions[cid] + gap + 1
+                instructions[cid] = count
+                t = now + gap + 1
+
+                if l1s is not None and l1s[cid].access(addr):
+                    # L1 hit: fully pipelined, no stall.
+                    if collect:
+                        l1_hits[cid] += 1
+                else:
+                    if observe is not None:
+                        observe(cid, addr)
+                    if cache_access(addr, cid):
+                        t += hit_latency
+                    else:
+                        t += hit_latency + mem_request(addr, t)
+
+                if count >= instructions_per_core and finished_at[cid] is None:
+                    finished_at[cid] = t
+                    instructions_at_finish[cid] = count
+                    unfinished -= 1
+
+                # Run continuation: keep executing this core while it
+                # would be popped next anyway.
+                if unfinished:
+                    if use_heap:
+                        head = heap[0]
+                        second = head[0]
+                        scid = head[1]
+                    if t < second or (t == second and cid < scid):
+                        now = t
+                        continue
+                break
+
+            if chunk:
+                positions[cid] = pos
             if use_heap:
                 heappush(heap, (t, cid))
             else:

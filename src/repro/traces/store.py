@@ -1,0 +1,338 @@
+"""Keyed trace store: in-process LRU over compiled chunks, with an
+optional on-disk layer shared across jobs and processes.
+
+Chunks are keyed by ``(TraceSpec.key(chunk_pairs), chunk_index)`` --
+that is, by app name + parameters + address base + seed + chunking +
+the generator-source fingerprint -- so every simulation of the same
+mix (any scheme, any process) replays the same compiled buffers
+instead of re-running the Python generators item by item.
+
+Layers, cheapest first:
+
+1. **memory**: an LRU of at most ``max_chunks`` buffers (default 128
+   chunks of 64K pairs = 128 MiB);
+2. **disk**: enabled when ``REPRO_TRACE_CACHE`` names a directory
+   (compact ``array('q').tofile`` binaries, native byte order, one
+   sub-directory per trace with a ``meta.json`` sidecar for
+   ``repro traces --list``);
+3. **compile**: pull pairs from the spec's generator.  Each trace
+   keeps a *producer* (its live generator plus the next chunk index)
+   so sequential requests never regenerate the prefix; a request
+   behind an evicted producer restarts the generator from item zero,
+   which is always correct because the streams are deterministic.
+
+Environment knobs:
+
+- ``REPRO_TRACE_CACHE``: on-disk chunk directory (unset: memory only).
+- ``REPRO_TRACE_CHUNK_PAIRS``: pairs per chunk (default 65536).
+- ``REPRO_TRACE_MEM_CHUNKS``: in-memory LRU capacity in chunks
+  (default 128).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from array import array
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.traces.chunks import DEFAULT_CHUNK_PAIRS, compile_chunk
+from repro.traces.spec import TraceSpec
+
+#: Producers kept alive per store (live generators are cheap; this
+#: only bounds pathological sweeps over thousands of distinct traces).
+MAX_PRODUCERS = 128
+
+_DEFAULT_MEM_CHUNKS = 128
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+class TraceStore:
+    """LRU + disk cache of compiled trace chunks."""
+
+    def __init__(
+        self, chunk_pairs: int | None = None, max_chunks: int | None = None
+    ):
+        self.chunk_pairs = chunk_pairs or _env_int(
+            "REPRO_TRACE_CHUNK_PAIRS", DEFAULT_CHUNK_PAIRS
+        )
+        if self.chunk_pairs < 1:
+            raise ValueError("chunk_pairs must be positive")
+        self.max_chunks = max_chunks or _env_int(
+            "REPRO_TRACE_MEM_CHUNKS", _DEFAULT_MEM_CHUNKS
+        )
+        self.max_list_chunks = _env_int("REPRO_TRACE_LIST_CHUNKS", 32)
+        self._chunks: OrderedDict[tuple[str, int], array] = OrderedDict()
+        self._lists: OrderedDict[tuple[str, int], list] = OrderedDict()
+        self._producers: OrderedDict[str, tuple] = OrderedDict()
+        self._keys: dict[TraceSpec, str] = {}
+        self._meta_written: set[str] = set()
+        # Telemetry counters (pulled by the harness stats tree).
+        self.mem_hits = 0
+        self.disk_hits = 0
+        self.compiles = 0
+        self.evictions = 0
+        self.bytes_compiled = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- keys and layout ------------------------------------------------
+
+    def key_of(self, spec: TraceSpec) -> str:
+        """``spec``'s store key (memoised; specs are frozen)."""
+        key = self._keys.get(spec)
+        if key is None:
+            key = spec.key(self.chunk_pairs)
+            self._keys[spec] = key
+        return key
+
+    @staticmethod
+    def disk_dir() -> Path | None:
+        """The on-disk layer's directory, or ``None`` when disabled.
+
+        Read from the environment on every call so tests (and the
+        harness) can repoint or disable the layer without rebuilding
+        stores.
+        """
+        override = os.environ.get("REPRO_TRACE_CACHE")
+        return Path(override) if override else None
+
+    def _trace_dir(self, key: str) -> Path | None:
+        root = self.disk_dir()
+        return root / key[:2] / key if root is not None else None
+
+    def _chunk_path(self, key: str, index: int) -> Path | None:
+        trace_dir = self._trace_dir(key)
+        return trace_dir / f"{index:08d}.i64" if trace_dir is not None else None
+
+    # -- layered lookup -------------------------------------------------
+
+    def get_chunk(self, spec: TraceSpec, index: int) -> array:
+        """The ``index``-th chunk of ``spec``'s stream (memory, then
+        disk, then compile)."""
+        if index < 0:
+            raise ValueError("chunk index must be non-negative")
+        key = self.key_of(spec)
+        mem_key = (key, index)
+        chunk = self._chunks.get(mem_key)
+        if chunk is not None:
+            self.mem_hits += 1
+            self._chunks.move_to_end(mem_key)
+            return chunk
+        chunk = self._load_disk(key, index)
+        if chunk is not None:
+            self.disk_hits += 1
+            self._remember(mem_key, chunk)
+            return chunk
+        return self._compile_through(spec, key, index)
+
+    def chunk_list(self, spec: TraceSpec, index: int) -> list[int]:
+        """The chunk as a plain list (the event loop's cursor format:
+        list indexing is the cheapest per-event read Python offers).
+
+        List conversions are memoised in their own small LRU
+        (``REPRO_TRACE_LIST_CHUNKS``, default 32 -- the hot set of one
+        running simulation) so a sweep re-simulating the same mix pays
+        ``tolist`` once, not once per scheme job.
+        """
+        key = (self.key_of(spec), index)
+        lists = self._lists
+        chunk = lists.get(key)
+        if chunk is not None:
+            lists.move_to_end(key)
+            return chunk
+        chunk = self.get_chunk(spec, index).tolist()
+        lists[key] = chunk
+        while len(lists) > self.max_list_chunks:
+            lists.popitem(last=False)
+        return chunk
+
+    # -- memory layer ---------------------------------------------------
+
+    def _remember(self, mem_key: tuple[str, int], chunk: array) -> None:
+        chunks = self._chunks
+        chunks[mem_key] = chunk
+        chunks.move_to_end(mem_key)
+        while len(chunks) > self.max_chunks:
+            chunks.popitem(last=False)
+            self.evictions += 1
+
+    # -- disk layer -----------------------------------------------------
+
+    def _load_disk(self, key: str, index: int) -> array | None:
+        path = self._chunk_path(key, index)
+        if path is None:
+            return None
+        expected = 2 * self.chunk_pairs
+        buf = array("q")
+        try:
+            with path.open("rb") as fh:
+                buf.fromfile(fh, expected)
+        except FileNotFoundError:
+            return None
+        except (OSError, EOFError, ValueError):
+            # Torn write or truncated file (``fromfile`` raises
+            # ``ValueError`` on a partial trailing item): drop it.
+            path.unlink(missing_ok=True)
+            return None
+        self.bytes_read += buf.itemsize * expected
+        return buf
+
+    def _store_disk(self, spec: TraceSpec, key: str, index: int, chunk) -> None:
+        path = self._chunk_path(key, index)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                chunk.tofile(fh)
+            os.replace(tmp, path)
+            self.bytes_written += chunk.itemsize * len(chunk)
+            if key not in self._meta_written:
+                self._meta_written.add(key)
+                meta = path.parent / "meta.json"
+                if not meta.exists():
+                    meta.write_text(
+                        json.dumps(
+                            {**spec.describe(), "chunk_pairs": self.chunk_pairs},
+                            indent=2,
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+        except OSError:
+            # A full or read-only disk must not fail the simulation.
+            pass
+
+    # -- compile layer --------------------------------------------------
+
+    def _compile_through(self, spec: TraceSpec, key: str, index: int) -> array:
+        """Compile chunks up to and including ``index``, remembering
+        every chunk produced on the way."""
+        producer = self._producers.pop(key, None)
+        if producer is None or producer[1] > index:
+            producer = (spec.generator(), 0)
+        iterator, next_index = producer
+        chunk_pairs = self.chunk_pairs
+        chunk = None
+        while next_index <= index:
+            chunk = compile_chunk(iterator, chunk_pairs)
+            self.compiles += 1
+            self.bytes_compiled += chunk.itemsize * len(chunk)
+            self._remember((key, next_index), chunk)
+            self._store_disk(spec, key, next_index, chunk)
+            next_index += 1
+        producers = self._producers
+        producers[key] = (iterator, next_index)
+        while len(producers) > MAX_PRODUCERS:
+            producers.popitem(last=False)
+        return chunk
+
+    # -- inspection / maintenance ---------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "mem_hits": self.mem_hits,
+            "disk_hits": self.disk_hits,
+            "compiles": self.compiles,
+            "evictions": self.evictions,
+            "bytes_compiled": self.bytes_compiled,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+    def register_stats(self, group) -> None:
+        """Register the store's counters into a stats tree group."""
+        group.stat("mem_hits", lambda: self.mem_hits, "chunks served from the in-process LRU")
+        group.stat("disk_hits", lambda: self.disk_hits, "chunks loaded from the on-disk store")
+        group.stat("compiles", lambda: self.compiles, "chunks compiled from generators")
+        group.stat("evictions", lambda: self.evictions, "chunks dropped by the LRU")
+        group.stat("bytes_compiled", lambda: self.bytes_compiled, "bytes produced by the compile layer")
+        group.stat("bytes_read", lambda: self.bytes_read, "bytes loaded from disk")
+        group.stat("bytes_written", lambda: self.bytes_written, "bytes persisted to disk")
+
+    def clear_memory(self) -> None:
+        """Drop the LRU and producers (counters are kept)."""
+        self._chunks.clear()
+        self._lists.clear()
+        self._producers.clear()
+        self._keys.clear()
+        self._meta_written.clear()
+
+    @classmethod
+    def list_disk(cls) -> list[dict]:
+        """Inventory of the on-disk store, one row per trace."""
+        root = cls.disk_dir()
+        if root is None or not root.is_dir():
+            return []
+        rows = []
+        for trace_dir in sorted(root.glob("??/*")):
+            if not trace_dir.is_dir():
+                continue
+            chunk_files = sorted(trace_dir.glob("*.i64"))
+            meta_path = trace_dir / "meta.json"
+            meta = {}
+            if meta_path.exists():
+                try:
+                    meta = json.loads(meta_path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    meta = {}
+            rows.append(
+                {
+                    "key": trace_dir.name,
+                    "chunks": len(chunk_files),
+                    "bytes": sum(p.stat().st_size for p in chunk_files),
+                    **{
+                        k: meta[k]
+                        for k in ("name", "kind", "base", "seed", "chunk_pairs")
+                        if k in meta
+                    },
+                }
+            )
+        return rows
+
+    @classmethod
+    def purge_disk(cls) -> int:
+        """Delete every on-disk trace; returns the number removed."""
+        root = cls.disk_dir()
+        if root is None or not root.is_dir():
+            return 0
+        removed = 0
+        for trace_dir in root.glob("??/*"):
+            if not trace_dir.is_dir():
+                continue
+            for path in trace_dir.iterdir():
+                path.unlink(missing_ok=True)
+            trace_dir.rmdir()
+            removed += 1
+        for fanout in root.glob("??"):
+            try:
+                fanout.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+_STORE: TraceStore | None = None
+
+
+def get_store() -> TraceStore:
+    """The process-wide trace store (created on first use)."""
+    global _STORE
+    if _STORE is None:
+        _STORE = TraceStore()
+    return _STORE
+
+
+def reset_store() -> TraceStore:
+    """Replace the process-wide store (tests; chunking knob changes)."""
+    global _STORE
+    _STORE = TraceStore()
+    return _STORE

@@ -15,14 +15,8 @@ Working-set sizes are in 64-byte lines; the 2 MB small-system L2 is
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 
-from repro.workloads.generators import (
-    loop_stream,
-    phased_stream,
-    scan_stream,
-    zipf_stream,
-)
+from repro.traces.spec import TraceSpec
 
 INSENSITIVE = "n"
 FRIENDLY = "f"
@@ -56,24 +50,36 @@ class AppSpec:
     ws2_lines: int = 0
     phase_accesses: int = 50_000
 
+    def trace_spec(self, base: int, seed: int) -> TraceSpec:
+        """This app's stream as a value: the chunk pipeline's unit of
+        identity (see :mod:`repro.traces`)."""
+        if self.kind == "zipf":
+            params: tuple = (self.ws_lines, self.alpha, self.mean_gap)
+        elif self.kind in ("loop", "scan"):
+            params = (self.ws_lines, self.mean_gap)
+        elif self.kind == "phased-loop":
+            params = (
+                self.ws_lines,
+                self.ws2_lines,
+                self.mean_gap,
+                self.phase_accesses,
+            )
+        else:
+            raise ValueError(f"unknown generator kind {self.kind!r}")
+        return TraceSpec(
+            name=self.name, kind=self.kind, params=params, base=base, seed=seed
+        )
+
     def trace_factory(self, base: int, seed: int):
         """A zero-argument callable producing a fresh trace iterator,
-        as :class:`~repro.sim.system.CMPSystem` expects."""
-        if self.kind == "zipf":
-            return partial(
-                zipf_stream, self.ws_lines, self.alpha, self.mean_gap, base, seed
-            )
-        if self.kind == "loop":
-            return partial(loop_stream, self.ws_lines, self.mean_gap, base, seed)
-        if self.kind == "scan":
-            return partial(scan_stream, self.ws_lines, self.mean_gap, base, seed)
-        if self.kind == "phased-loop":
-            phase_a = partial(loop_stream, self.ws_lines, self.mean_gap)
-            phase_b = partial(loop_stream, self.ws2_lines, self.mean_gap)
-            return partial(
-                phased_stream, phase_a, phase_b, self.phase_accesses, base, seed
-            )
-        raise ValueError(f"unknown generator kind {self.kind!r}")
+        as :class:`~repro.sim.system.CMPSystem` expects.
+
+        The callable is a :class:`~repro.traces.TraceSpec`, so the
+        optimized event loop can also feed the same stream through the
+        compiled chunk store; plain callables keep working and simply
+        stay on the generator path.
+        """
+        return self.trace_spec(base, seed)
 
 
 def _app(name, category, kind, ws, gap, alpha=1.0, ws2=0, phase=50_000) -> AppSpec:

@@ -115,6 +115,28 @@ def test_default_workers_env(monkeypatch):
     assert default_workers() >= 1
 
 
+def test_pool_chunksize_preserves_job_order(cache_dir):
+    """``run_jobs`` batches pool dispatches when jobs outnumber
+    workers 4:1 (computed chunksize > 1); ``pool.map`` must still
+    return outcomes in job order."""
+    config = small_system()
+    mixes = [make_mix(cls, 1) for cls in ("sftn", "ttnn", "stnn")]
+    # 18 distinct pending jobs over 2 workers -> chunksize 2.
+    jobs = [
+        SimJob(mix, scheme, config, 2_000, seed=seed)
+        for seed in (1, 2, 3)
+        for scheme in SCHEMES
+        for mix in mixes
+    ]
+    assert max(1, len(jobs) // (2 * 4)) > 1
+    pooled = run_jobs(jobs, workers=2, use_cache=False)
+    for job, outcome in zip(jobs, pooled):
+        serial = run_mix(
+            job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+        ).result
+        assert outcome.result == serial
+
+
 def test_worker_pool_used_when_requested(cache_dir):
     """Multi-worker path (ProcessPoolExecutor) agrees with inline."""
     if os.cpu_count() is None:

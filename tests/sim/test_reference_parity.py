@@ -24,7 +24,12 @@ from repro.workloads import make_mix
 INSTRUCTIONS = 12_000
 
 
-def _simulate(scheme: str, partitioned: bool, reference: bool):
+def _simulate(
+    scheme: str,
+    partitioned: bool,
+    reference: bool,
+    use_chunks: bool | None = None,
+):
     config = small_system()
     mix = make_mix("sftn", 1)
     cache = build_cache(scheme, config.l2_lines, config.num_cores, seed=0)
@@ -33,7 +38,9 @@ def _simulate(scheme: str, partitioned: bool, reference: bool):
         as_reference_cache(cache)
         if policy is not None:
             as_reference_policy(policy)
-    system = CMPSystem(cache, mix.trace_factories(0), config, policy=policy)
+    system = CMPSystem(
+        cache, mix.trace_factories(0), config, policy=policy, use_chunks=use_chunks
+    )
     if reference:
         return reference_run(system, INSTRUCTIONS)
     return system.run(INSTRUCTIONS)
@@ -53,6 +60,46 @@ def test_reference_and_optimized_results_identical(scheme, partitioned):
     optimized = _simulate(scheme, partitioned, reference=False)
     reference = _simulate(scheme, partitioned, reference=True)
     assert optimized == reference
+
+
+@pytest.mark.parametrize(
+    "scheme,partitioned",
+    [("vantage-z4/52", True), ("lru-sa16", False)],
+)
+def test_chunk_and_generator_feeds_identical(scheme, partitioned):
+    """The chunk-cursor feed is a pure re-encoding of the generator
+    feed: same events in the same order, so bitwise-equal results --
+    and both equal the reference event loop."""
+    chunked = _simulate(scheme, partitioned, reference=False, use_chunks=True)
+    generated = _simulate(scheme, partitioned, reference=False, use_chunks=False)
+    reference = _simulate(scheme, partitioned, reference=True)
+    assert chunked == generated
+    assert chunked == reference
+
+
+def test_chunk_feed_cold_and_warm_disk_cache_identical(tmp_path, monkeypatch):
+    """Compiling chunks, reading them back from disk, and skipping the
+    disk entirely must all replay the same simulation."""
+    from repro.traces import get_store, reset_store
+
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    reset_store()
+    no_disk = _simulate("vantage-z4/52", True, reference=False, use_chunks=True)
+
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    reset_store()
+    cold = _simulate("vantage-z4/52", True, reference=False, use_chunks=True)
+    assert get_store().bytes_written > 0  # the cold run populated disk
+
+    reset_store()  # fresh memory: the warm run must come from disk
+    warm = _simulate("vantage-z4/52", True, reference=False, use_chunks=True)
+    assert get_store().disk_hits > 0
+    assert get_store().compiles == 0
+
+    reset_store()
+    monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+    assert cold == no_disk
+    assert warm == no_disk
 
 
 def _walk_parity(array: CacheArray, addrs: list[int]) -> None:

@@ -156,3 +156,26 @@ class TestValidation:
         cache = build_baseline(config)
         with pytest.raises(ValueError):
             CMPSystem(cache, [constant_trace(1, [1])], config)
+
+    def test_empty_trace_raises_naming_the_core(self):
+        """A factory whose iterator yields nothing must surface as a
+        ValueError naming the offending core, not a bare StopIteration
+        swallowed (or propagated) by the event loop."""
+        config = tiny_config(cores=2)
+        cache = build_baseline(config)
+        system = CMPSystem(
+            cache, [constant_trace(3, [1, 2]), lambda: iter(())], config
+        )
+        with pytest.raises(ValueError, match="core 1"):
+            system.run(1_000)
+
+    def test_empty_trace_raises_in_reference_loop_too(self):
+        from repro.sim.reference import reference_run
+
+        config = tiny_config(cores=2)
+        cache = build_baseline(config)
+        system = CMPSystem(
+            cache, [lambda: iter(()), constant_trace(3, [1, 2])], config
+        )
+        with pytest.raises(ValueError, match="core 0"):
+            reference_run(system, 1_000)
