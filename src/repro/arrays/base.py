@@ -13,10 +13,16 @@ higher layers can follow the lines.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 from collections import namedtuple
 from typing import Iterator
 
 from repro import telemetry
+
+#: Sentinel stored in the flat tag column for an empty slot.  Line
+#: addresses are non-negative, so ``tag < 0`` is the emptiness test on
+#: the hot path (``addr_at`` still presents ``None`` to callers).
+EMPTY = -1
 
 
 class Candidate(namedtuple("Candidate", ("slot", "addr", "path", "way"))):
@@ -77,8 +83,16 @@ class CacheArray(ABC):
         self.num_lines = num_lines
         self.num_ways = num_ways
         self.num_sets = num_lines // num_ways
-        self._tags: list[int | None] = [None] * num_lines
+        # Structure-of-arrays tag column: one signed 64-bit word per
+        # slot (EMPTY for free slots) instead of a list of PyObject
+        # pointers -- 8 bytes/slot regardless of address magnitude.
+        self._tags = array("q", [EMPTY]) * num_lines
+        # Bounded address->slot index: one entry per *resident* line,
+        # so its size can never exceed num_lines.
         self._slot_of: dict[int, int] = {}
+        # Scratch buffer for install_walk's relocation report: flat
+        # (src, dst) pairs, overwritten on every call.
+        self._install_moves: list[int] = []
         # Telemetry counters (plain ints; pull-based leaves read them
         # at snapshot time).  ``_collect`` is latched at construction
         # so disabled telemetry costs one attribute read per walk.
@@ -168,7 +182,10 @@ class CacheArray(ABC):
                     parent = parents[parent]
                 chain.reverse()
                 path = tuple(chain)
-        return Candidate(slot, self._tags[slot], path, self.way_of_slot(slot))
+        tag = self._tags[slot]
+        return Candidate(
+            slot, tag if tag >= 0 else None, path, self.way_of_slot(slot)
+        )
 
     # ------------------------------------------------------------------
     # Common operations.
@@ -180,7 +197,46 @@ class CacheArray(ABC):
         return slot
 
     def addr_at(self, slot: int) -> int | None:
-        return self._tags[slot]
+        tag = self._tags[slot]
+        return tag if tag >= 0 else None
+
+    def positions_into(self, addr: int, buf: list[int]) -> int:
+        """Write ``positions(addr)`` into the preallocated ``buf``.
+
+        Returns the number of positions written; ``buf`` must be at
+        least ``num_ways`` long (its tail is left untouched).  The
+        default delegates to :meth:`positions`; geometry-aware
+        subclasses fill ``buf`` without materialising a tuple, so hit
+        paths polling several possible locations can reuse one buffer
+        across accesses.
+        """
+        pos = self.positions(addr)
+        n = len(pos)
+        buf[:n] = pos
+        return n
+
+    def install_walk(
+        self, addr: int, slots, parents, index: int
+    ) -> int:
+        """Fused ``make_candidate(slots, parents, index)`` + ``install``.
+
+        Installs ``addr`` into the victim ``slots[index]`` (evicting
+        the resident line if the slot is occupied) without building the
+        intermediate :class:`Candidate`, and returns the slot the new
+        line landed in.  Relocations (zcache paths) are reported in
+        :attr:`_install_moves` as flat ``src, dst`` pairs in execution
+        order -- a scratch buffer overwritten by the next call.  The
+        arguments must come from the immediately preceding
+        ``candidate_slots(addr)`` walk; validation is skipped.
+        """
+        slot = slots[index]
+        self._install_moves.clear()
+        if self._tags[slot] >= 0:
+            self._remove(slot)
+        self._place(addr, slot)
+        if self._collect:
+            self.stat_installs += 1
+        return slot
 
     def install(self, addr: int, victim: Candidate) -> list[tuple[int, int]]:
         """Install ``addr``, evicting ``victim`` (if non-empty).
@@ -261,24 +317,24 @@ class CacheArray(ABC):
     # ------------------------------------------------------------------
 
     def _place(self, addr: int, slot: int) -> None:
-        if self._tags[slot] is not None:
+        if self._tags[slot] >= 0:
             raise ValueError(f"slot {slot} is occupied")
         self._tags[slot] = addr
         self._slot_of[addr] = slot
 
     def _remove(self, slot: int) -> None:
         addr = self._tags[slot]
-        if addr is None:
+        if addr < 0:
             raise ValueError(f"slot {slot} is already empty")
-        self._tags[slot] = None
+        self._tags[slot] = EMPTY
         del self._slot_of[addr]
 
     def _move(self, src: int, dst: int) -> None:
         addr = self._tags[src]
-        if addr is None:
+        if addr < 0:
             raise ValueError(f"cannot move from empty slot {src}")
-        if self._tags[dst] is not None:
+        if self._tags[dst] >= 0:
             raise ValueError(f"cannot move into occupied slot {dst}")
-        self._tags[src] = None
+        self._tags[src] = EMPTY
         self._tags[dst] = addr
         self._slot_of[addr] = dst

@@ -51,7 +51,10 @@ class RandomCandidatesArray(CacheArray):
             return [Candidate(slot, None, (slot,), 0)]
         tags = self._tags
         slots = self._rng.sample(range(self.num_lines), self._r)
-        return [Candidate(slot, tags[slot], (slot,), 0) for slot in slots]
+        return [
+            Candidate(slot, tags[slot] if tags[slot] >= 0 else None, (slot,), 0)
+            for slot in slots
+        ]
 
     def candidate_slots(self, addr: int):
         # Consumes the RNG exactly like candidates(): one sample per
@@ -70,6 +73,12 @@ class RandomCandidatesArray(CacheArray):
         if victim.addr is None and self._free and victim.slot == self._free[-1]:
             self._free.pop()
         return super().install(addr, victim)
+
+    def install_walk(self, addr: int, slots, parents, index: int) -> int:
+        slot = slots[index]
+        if self._free and slot == self._free[-1] and self._tags[slot] < 0:
+            self._free.pop()
+        return super().install_walk(addr, slots, parents, index)
 
     def invalidate(self, addr: int) -> int | None:
         slot = super().invalidate(addr)

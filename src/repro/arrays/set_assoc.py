@@ -40,7 +40,13 @@ class SetAssociativeArray(CacheArray):
         self.hashed = hashed
         self._hash = H3Hash(self.num_sets, seed) if hashed else None
         self._set_mask = self.num_sets - 1
+        # Bounded memo of the per-address H3 set index.  Unbounded, a
+        # long random-address run would hold one entry per distinct
+        # address ever seen; instead the memo is flushed wholesale when
+        # it reaches the cap (recomputing an H3 hash is cheap, and a
+        # full clear keeps the hit path to a single dict get).
         self._index_cache: dict[int, int] = {}
+        self._index_cache_cap = max(4 * num_lines, 1 << 16)
         # Free-slot count per set, so candidate_slots can skip the
         # per-way emptiness scan once a set is full (the steady state),
         # and reusable range objects for the full-set fast path.
@@ -57,23 +63,38 @@ class SetAssociativeArray(CacheArray):
         """Set index of ``addr`` (hashed or modulo)."""
         if self._hash is None:
             return addr & self._set_mask
-        idx = self._index_cache.get(addr)
+        cache = self._index_cache
+        idx = cache.get(addr)
         if idx is None:
+            if len(cache) >= self._index_cache_cap:
+                cache.clear()
             idx = self._hash(addr)
-            self._index_cache[addr] = idx
+            cache[addr] = idx
         return idx
 
     def positions(self, addr: int) -> tuple[int, ...]:
         base = self.set_index(addr) * self.num_ways
         return tuple(range(base, base + self.num_ways))
 
+    def positions_into(self, addr: int, buf: list[int]) -> int:
+        base = self.set_index(addr) * self.num_ways
+        num_ways = self.num_ways
+        for way in range(num_ways):
+            buf[way] = base + way
+        return num_ways
+
     def candidates(self, addr: int) -> list[Candidate]:
         base = self.set_index(addr) * self.num_ways
         tags = self._tags
-        return [
-            Candidate(base + way, tags[base + way], (base + way,), way)
-            for way in range(self.num_ways)
-        ]
+        out: list[Candidate] = []
+        for way in range(self.num_ways):
+            tag = tags[base + way]
+            out.append(
+                Candidate(
+                    base + way, tag if tag >= 0 else None, (base + way,), way
+                )
+            )
+        return out
 
     def candidate_slots(self, addr: int):
         set_index = self.set_index(addr)
@@ -83,7 +104,7 @@ class SetAssociativeArray(CacheArray):
             slots: list[int] = []
             for slot in range(base, base + self.num_ways):
                 slots.append(slot)
-                if tags[slot] is None:
+                if tags[slot] < 0:
                     if self._collect:
                         self.stat_walks += 1
                         self.stat_candidates += len(slots)

@@ -8,7 +8,7 @@ zcache whose replacement walk stops at the first level.
 
 from __future__ import annotations
 
-from repro.arrays.base import CacheArray, Candidate
+from repro.arrays.base import EMPTY, CacheArray, Candidate
 from repro.arrays.hashing import _MASK_BITS, H3Family
 
 
@@ -26,7 +26,12 @@ class SkewAssociativeArray(CacheArray):
         if num_lines >= 1 << _MASK_BITS:
             raise ValueError("num_lines must fit in one fused-hash lane")
         self.hashes = H3Family(num_ways, self.num_sets, seed)
+        # Bounded memo of per-address position tuples; flushed wholesale
+        # at the cap like SetAssociativeArray._index_cache (resident
+        # lines re-memoise on their next walk, so correctness never
+        # depends on an entry being present).
         self._position_cache: dict[int, tuple[int, ...]] = {}
+        self._position_cache_cap = max(4 * num_lines, 1 << 16)
         # The fused hash packs each way's bucket into its own 32-bit
         # lane; adding these pre-shifted bank bases turns every lane
         # into a global slot index in a single operation (lanes are
@@ -50,20 +55,38 @@ class SkewAssociativeArray(CacheArray):
         return self.num_ways
 
     def positions(self, addr: int) -> tuple[int, ...]:
-        pos = self._position_cache.get(addr)
+        cache = self._position_cache
+        pos = cache.get(addr)
         if pos is None:
+            if len(cache) >= self._position_cache_cap:
+                cache.clear()
             h = self.hashes.packed(addr) + self._lane_offsets
             mask = self._lane_mask
             pos = tuple([(h >> shift) & mask for shift in self._lane_shifts])
-            self._position_cache[addr] = pos
+            cache[addr] = pos
         return pos
+
+    def positions_into(self, addr: int, buf: list[int]) -> int:
+        pos = self._position_cache.get(addr)
+        if pos is not None:
+            n = len(pos)
+            buf[:n] = pos
+            return n
+        h = self.hashes.packed(addr) + self._lane_offsets
+        mask = self._lane_mask
+        n = 0
+        for shift in self._lane_shifts:
+            buf[n] = (h >> shift) & mask
+            n += 1
+        return n
 
     def candidates(self, addr: int) -> list[Candidate]:
         tags = self._tags
-        return [
-            Candidate(slot, tags[slot], (slot,), way)
-            for way, slot in enumerate(self.positions(addr))
-        ]
+        out: list[Candidate] = []
+        for way, slot in enumerate(self.positions(addr)):
+            tag = tags[slot]
+            out.append(Candidate(slot, tag if tag >= 0 else None, (slot,), way))
+        return out
 
     def candidate_slots(self, addr: int):
         tags = self._tags
@@ -72,7 +95,7 @@ class SkewAssociativeArray(CacheArray):
         has_empty = False
         for slot in self.positions(addr):
             slots.append(slot)
-            if tags[slot] is None:
+            if tags[slot] < 0:
                 has_empty = True
                 break
         if self._collect:
@@ -108,9 +131,9 @@ class SkewAssociativeArray(CacheArray):
         pcache_get = self._position_cache.get
         if victim.addr is not None:
             old = tags[last]
-            if old is None:
+            if old < 0:
                 raise ValueError(f"slot {last} is already empty")
-            tags[last] = None
+            tags[last] = EMPTY
             del slot_of[old]
             pbs[last] = None
         moves: list[tuple[int, int]] = []
@@ -118,22 +141,24 @@ class SkewAssociativeArray(CacheArray):
             src = path[i - 1]
             dst = path[i]
             line = tags[src]
-            if line is None:
+            if line < 0:
                 raise ValueError(f"cannot move from empty slot {src}")
-            if tags[dst] is not None:
+            if tags[dst] >= 0:
                 raise ValueError(f"cannot move into occupied slot {dst}")
-            tags[src] = None
+            tags[src] = EMPTY
             tags[dst] = line
             slot_of[line] = dst
-            # _other_positions(line, dst), inlined: a resident line's
-            # positions are always in the cache.
+            # _other_positions(line, dst), inlined; the position memo
+            # is bounded, so recompute on the (rare) post-flush miss.
             pos = pcache_get(line)
+            if pos is None:
+                pos = self.positions(line)
             way = dst // num_sets
             pbs[dst] = pos[:way] + pos[way + 1 :]
             pbs[src] = None
             moves.append((src, dst))
         first = path[0]
-        if tags[first] is not None:
+        if tags[first] >= 0:
             raise ValueError(f"slot {first} is occupied")
         tags[first] = addr
         slot_of[addr] = first
@@ -154,7 +179,7 @@ class SkewAssociativeArray(CacheArray):
     def _move(self, src: int, dst: int) -> None:
         addr = self._tags[src]
         super()._move(src, dst)
-        if addr is not None:
+        if addr >= 0:
             self._pos_by_slot[dst] = self._other_positions(addr, dst)
         self._pos_by_slot[src] = None
 

@@ -18,7 +18,7 @@ relies on.
 
 from __future__ import annotations
 
-from repro.arrays.base import Candidate
+from repro.arrays.base import EMPTY, Candidate
 from repro.arrays.skew import SkewAssociativeArray
 
 
@@ -81,6 +81,8 @@ class ZCacheArray(SkewAssociativeArray):
         # like _walk_slots).
         self._walk_bounds = _WalkLevels()
         self._walk_bounds.hint = -1
+        # Scratch chain reused by install_walk.
+        self._install_chain: list[int] = []
 
     @property
     def candidates_per_miss(self) -> int:
@@ -107,9 +109,10 @@ class ZCacheArray(SkewAssociativeArray):
                 continue
             visited.add(slot)
             line = tags[slot]
-            cand = Candidate(slot, line, (slot,), way)
+            occupied = line >= 0
+            cand = Candidate(slot, line if occupied else None, (slot,), way)
             found.append(cand)
-            if line is not None:
+            if occupied:
                 frontier.append(cand)
 
         r = self._r
@@ -119,7 +122,7 @@ class ZCacheArray(SkewAssociativeArray):
                 parent_slot = parent.slot
                 parent_way = parent_slot // num_sets
                 line = tags[parent_slot]
-                if line is None:
+                if line < 0:
                     # The parent can only become empty through external
                     # mutation between walks; candidates() is atomic per
                     # miss, so this is unreachable -- but stay safe.
@@ -135,9 +138,12 @@ class ZCacheArray(SkewAssociativeArray):
                         continue
                     visited.add(slot)
                     child = tags[slot]
-                    cand = Candidate(slot, child, parent.path + (slot,), way)
+                    occupied = child >= 0
+                    cand = Candidate(
+                        slot, child if occupied else None, parent.path + (slot,), way
+                    )
                     found.append(cand)
-                    if child is not None:
+                    if occupied:
                         next_frontier.append(cand)
                     if len(found) >= r:
                         return found
@@ -171,9 +177,86 @@ class ZCacheArray(SkewAssociativeArray):
             chain.append(cur)
             level -= 1
         chain.reverse()
+        tag = self._tags[slot]
         return Candidate(
-            slot, self._tags[slot], tuple(chain), slot // self.num_sets
+            slot,
+            tag if tag >= 0 else None,
+            tuple(chain),
+            slot // self.num_sets,
         )
+
+    def install_walk(self, addr: int, slots, parents, index: int) -> int:
+        bounds = parents
+        if type(bounds) is not _WalkLevels:
+            return super().install_walk(addr, slots, parents, index)
+        slot = slots[index]
+        # Derive the victim's relocation chain exactly like
+        # make_candidate, reading _pos_by_slot before any mutation.
+        level = 0
+        while bounds[level] <= index:
+            level += 1
+        chain = self._install_chain
+        chain.clear()
+        chain.append(slot)
+        cur = slot
+        pos_by_slot = self._pos_by_slot
+        if level > 0 and bounds.hint >= 0 and index == len(slots) - 1:
+            cur = slots[bounds.hint]
+            chain.append(cur)
+            level -= 1
+        while level > 0:
+            lo = bounds[level - 2] if level >= 2 else 0
+            for pi in range(lo, bounds[level - 1]):
+                parent = slots[pi]
+                if cur in pos_by_slot[parent]:
+                    cur = parent
+                    break
+            else:  # pragma: no cover - the walk guarantees a parent
+                raise RuntimeError("walk level bounds are inconsistent")
+            chain.append(cur)
+            level -= 1
+        # chain[0] is the victim, chain[-1] the landing slot; lines
+        # move one step toward the victim, nearest-the-victim first
+        # (the order CacheArray.install reports).
+        slot_of = self._slot_of
+        tags = self._tags
+        num_sets = self.num_sets
+        pcache_get = self._position_cache.get
+        old = tags[slot]
+        if old >= 0:
+            tags[slot] = EMPTY
+            del slot_of[old]
+            pos_by_slot[slot] = None
+        moves = self._install_moves
+        moves.clear()
+        moves_append = moves.append
+        for k in range(1, len(chain)):
+            src = chain[k]
+            dst = chain[k - 1]
+            line = tags[src]
+            tags[src] = EMPTY
+            tags[dst] = line
+            slot_of[line] = dst
+            pos = pcache_get(line)
+            if pos is None:
+                pos = self.positions(line)
+            way = dst // num_sets
+            pos_by_slot[dst] = pos[:way] + pos[way + 1 :]
+            pos_by_slot[src] = None
+            moves_append(src)
+            moves_append(dst)
+        landing = chain[-1]
+        tags[landing] = addr
+        slot_of[addr] = landing
+        pos = pcache_get(addr)
+        if pos is None:
+            pos = self.positions(addr)
+        way = landing // num_sets
+        pos_by_slot[landing] = pos[:way] + pos[way + 1 :]
+        if self._collect:
+            self.stat_installs += 1
+            self.stat_relocations += len(chain) - 1
+        return landing
 
     def candidate_slots(self, addr: int):
         """The replacement walk on primitive slot indices.
@@ -248,7 +331,7 @@ class ZCacheArray(SkewAssociativeArray):
             stamps[slot] = gen
             slots_append(slot)
             n += 1
-            if tags[slot] is None:
+            if tags[slot] < 0:
                 bounds.append(n)
                 return slots, bounds, True
 
@@ -268,7 +351,7 @@ class ZCacheArray(SkewAssociativeArray):
                         stamps[slot] = gen
                         slots_append(slot)
                         n += 1
-                        if tags[slot] is None:
+                        if tags[slot] < 0:
                             bounds.append(n)
                             bounds.hint = pi
                             return slots, bounds, True

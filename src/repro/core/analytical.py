@@ -113,7 +113,7 @@ class AnalyticalVantageCache(VantageCache):
 
     def _evict_slot(self, slot: int) -> None:
         owner = self.part_of[slot]
-        if owner is not None and owner != UNMANAGED:
+        if owner >= 0:
             self._hist[owner][self.line_ts[slot]] -= 1
         super()._evict_slot(slot)
 

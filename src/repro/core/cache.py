@@ -30,6 +30,8 @@ negative-feedback direction (see DESIGN.md and
 
 from __future__ import annotations
 
+from array import array as _array
+
 from repro.arrays.base import CacheArray, Candidate
 from repro.arrays.zcache import ZCacheArray
 from repro.core.config import VantageConfig
@@ -45,7 +47,7 @@ UNMANAGED = -1
 #: SetpointTS); feedback moves it from here.
 INITIAL_KEEP_WIDTH = 192
 
-from repro.partitioning.base_cache import PartitionedCache
+from repro.partitioning.base_cache import NO_PART, PartitionedCache
 
 
 class VantageCache(PartitionedCache):
@@ -77,8 +79,10 @@ class VantageCache(PartitionedCache):
 
         # --- Per-line state (the tag extensions of Fig 4). ---
         # ``part_of[slot]`` is the partition for managed lines and
-        # ``UNMANAGED`` for unmanaged ones (None only for empty slots).
-        self.line_ts = [0] * array.num_lines
+        # ``UNMANAGED`` for unmanaged ones (NO_PART only for empty
+        # slots).  line_ts is a flat int64 column like part_of: 8-bit
+        # coarse timestamps, one machine word per slot.
+        self.line_ts = _array("q", [0]) * array.num_lines
 
         # --- Per-partition registers. ---
         managed = self.config.managed_lines(array.num_lines)
@@ -132,6 +136,9 @@ class VantageCache(PartitionedCache):
         # them is behaviour-preserving.
         self._zwalk = isinstance(array, ZCacheArray)
 
+        if type(self) is VantageCache:
+            self._install_fused()
+
     # ------------------------------------------------------------------
     # Configuration / allocation interface.
     # ------------------------------------------------------------------
@@ -166,8 +173,10 @@ class VantageCache(PartitionedCache):
                 f"targets sum to {sum(units)}, above the managed region "
                 f"({self.allocation_total} lines)"
             )
-        self.target = list(units)
-        self._tables = [self._compile_table(t) for t in units]
+        # In place: fused access kernels capture these lists at build
+        # time, and UCP reallocates every epoch.
+        self.target[:] = units
+        self._tables[:] = [self._compile_table(t) for t in units]
 
     def partition_size(self, part: int) -> int:
         """Managed-region footprint of ``part`` (the ActualSize register)."""
@@ -668,7 +677,7 @@ class VantageCache(PartitionedCache):
             self.stats.evictions[owner] += 1
             if self.eviction_hook is not None:
                 self.eviction_hook(slot, owner)
-        self.part_of[slot] = None
+        self.part_of[slot] = NO_PART
 
     def _finish_install(self, addr: int, part: int, victim: Candidate) -> None:
         moves = self.array.install(addr, victim)
@@ -678,7 +687,7 @@ class VantageCache(PartitionedCache):
             move_hook = self._has_move_hook
             for src, dst in moves:
                 part_of[dst] = part_of[src]
-                part_of[src] = None
+                part_of[src] = NO_PART
                 line_ts[dst] = line_ts[src]
                 if move_hook:
                     self._move_line_state(src, dst)

@@ -18,9 +18,10 @@ monitor hardware.
 from __future__ import annotations
 
 import random
+from array import array as _array
 
 from repro.arrays.base import CacheArray
-from repro.core.cache import UNMANAGED, VantageCache
+from repro.core.cache import VantageCache
 from repro.core.config import VantageConfig
 from repro.replacement.rrip import (
     BRRIP_EPSILON,
@@ -47,12 +48,14 @@ class VantageDRRIPCache(VantageCache):
         seed: int = 0,
     ):
         super().__init__(array, num_partitions, config)
-        self.rrpv = [RRPV_MAX] * array.num_lines
+        self.rrpv = _array("q", [RRPV_MAX]) * array.num_lines
         # Setpoint RRPV in [1, RRPV_MAX + 1]; RRPV_MAX + 1 demotes
         # nothing, 1 demotes everything not predicted imminent.
         self.setpoint_rrpv = [RRPV_MAX] * num_partitions
         self.psel = [PSEL_MAX // 2] * num_partitions
         self._rng = random.Random(seed)
+        if type(self) is VantageDRRIPCache:
+            self._install_fused()
 
     # ------------------------------------------------------------------
     # Per-line metadata hooks.
@@ -106,7 +109,7 @@ class VantageDRRIPCache(VantageCache):
         target = self.target
         for slot in slots:
             owner = part_of[slot]
-            if owner is None or owner == UNMANAGED:
+            if owner < 0:  # UNMANAGED or empty
                 continue
             if actual[owner] > target[owner] and rrpv[slot] < RRPV_MAX:
                 rrpv[slot] += 1

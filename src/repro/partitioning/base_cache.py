@@ -19,12 +19,48 @@ footprint under any scheme -- the quantity plotted in Figure 8.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
+from array import array as _array
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.arrays.base import CacheArray, Candidate
 from repro.replacement.base import ReplacementPolicy
+
+#: ``part_of`` value for an empty slot.  Partition IDs are
+#: non-negative and Vantage's unmanaged region is -1, so -2 keeps
+#: ``owner >= 0`` as the "slot holds an owned line" test while still
+#: distinguishing empty from unmanaged.
+NO_PART = -2
+
+
+def fused_default() -> bool:
+    """Whether caches should install their fused access kernels.
+
+    Read from ``REPRO_FUSED`` at cache construction ("0" disables);
+    the object-oriented access path stays available as the fallback
+    and as the oracle the fused kernels are pinned against.
+    """
+    return os.environ.get("REPRO_FUSED", "1") != "0"
+
+
+#: Registry of fused access-kernel builders, keyed by concrete cache
+#: class.  A builder is called as ``builder(cache)`` and returns a
+#: closure with the signature of :meth:`PartitionedCache.access`, or
+#: ``None`` when the cache's array/policy combination has no fused
+#: kernel (the object path is used unchanged).
+_FUSED_KERNELS: dict[type, Callable] = {}
+
+
+def register_fused_kernel(cls: type):
+    """Class decorator registering a fused kernel builder for ``cls``."""
+
+    def decorator(builder: Callable):
+        _FUSED_KERNELS[cls] = builder
+        return builder
+
+    return decorator
 
 
 @dataclass
@@ -63,11 +99,12 @@ class CacheStats:
         return miss / acc if acc else 0.0
 
     def reset(self) -> None:
-        n = self.num_partitions
-        self.accesses = [0] * n
-        self.hits = [0] * n
-        self.misses = [0] * n
-        self.evictions = [0] * n
+        # In place: fused access kernels capture these lists at build
+        # time, so rebinding them would silently disconnect a kernel
+        # from the stats it reports into.
+        for counters in (self.accesses, self.hits, self.misses, self.evictions):
+            for i in range(len(counters)):
+                counters[i] = 0
 
 
 class PartitionedCache(ABC):
@@ -92,7 +129,11 @@ class PartitionedCache(ABC):
         self.num_partitions = num_partitions
         self.num_lines = array.num_lines
         self.stats = CacheStats(num_partitions)
-        self.part_of: list[int | None] = [None] * array.num_lines
+        # Flat owner column (structure-of-arrays): NO_PART for empty
+        # slots, UNMANAGED (-1) for Vantage's unmanaged region,
+        # otherwise the owning partition -- so ``owner >= 0`` is the
+        # single hot-path ownership test.
+        self.part_of = _array("q", [NO_PART]) * array.num_lines
         self._sizes = [0] * num_partitions
         # Bound tag-lookup for the access hot path (the array's
         # _slot_of dict is created once and never replaced).
@@ -100,6 +141,8 @@ class PartitionedCache(ABC):
         #: Optional measurement hook called as ``fn(victim_slot, victim_part)``
         #: immediately *before* an occupied victim is evicted.
         self.eviction_hook: Callable[[int, int], None] | None = None
+        #: True when a fused access kernel is installed on this instance.
+        self.fused = False
 
     # ------------------------------------------------------------------
     # Public surface.
@@ -127,6 +170,38 @@ class PartitionedCache(ABC):
 
     def reset_stats(self) -> None:
         self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # Fused access kernels.
+    # ------------------------------------------------------------------
+
+    def _install_fused(self) -> None:
+        """Install this class's fused access kernel, if one is
+        registered and ``REPRO_FUSED`` permits.
+
+        Called at the end of each registered concrete class's
+        ``__init__`` (guarded by ``type(self) is Cls`` so subclasses
+        that override the access path are never fused).  The kernel is
+        a closure bound to this instance's state columns, installed as
+        an *instance* attribute shadowing the ``access`` method; the
+        method itself remains the semantic definition and the
+        ``REPRO_FUSED=0`` fallback.
+        """
+        if not fused_default():
+            return
+        builder = _FUSED_KERNELS.get(type(self))
+        if builder is None:
+            return
+        kernel = builder(self)
+        if kernel is None:
+            return
+        self.__dict__["access"] = kernel
+        self.fused = True
+
+    def _remove_fused(self) -> None:
+        """Drop the instance-level fused kernel, restoring the method."""
+        self.__dict__.pop("access", None)
+        self.fused = False
 
     def register_stats(self, group) -> None:
         """Register the per-partition front-end counters; subclasses
@@ -163,12 +238,12 @@ class PartitionedCache(ABC):
     def _evict_bookkeeping(self, victim: Candidate) -> None:
         """Account for the eviction of an occupied ``victim``."""
         owner = self.part_of[victim.slot]
-        if owner is not None:
+        if owner >= 0:
             if self.eviction_hook is not None:
                 self.eviction_hook(victim.slot, owner)
             self.stats.evictions[owner] += 1
             self._sizes[owner] -= 1
-            self.part_of[victim.slot] = None
+            self.part_of[victim.slot] = NO_PART
 
     def _install_bookkeeping(
         self, addr: int, part: int, victim: Candidate, moves: list[tuple[int, int]]
@@ -180,7 +255,7 @@ class PartitionedCache(ABC):
         part_of = self.part_of
         for src, dst in moves:
             part_of[dst] = part_of[src]
-            part_of[src] = None
+            part_of[src] = NO_PART
         landing = victim.path[0]
         part_of[landing] = part
         self._sizes[part] += 1
@@ -210,6 +285,8 @@ class BaselineCache(PartitionedCache):
         if policy.num_lines != array.num_lines:
             raise ValueError("policy and array disagree on num_lines")
         self.policy = policy
+        if type(self) is BaselineCache:
+            self._install_fused()
 
     @property
     def allocation_total(self) -> int:

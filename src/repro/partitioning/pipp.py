@@ -72,6 +72,8 @@ class PIPPCache(PartitionedCache):
         # Telemetry counters.
         self.promotions = [0] * num_partitions
         self.stream_windows = [0] * num_partitions
+        if type(self) is PIPPCache:
+            self._install_fused()
 
     @property
     def allocation_total(self) -> int:
@@ -82,7 +84,8 @@ class PIPPCache(PartitionedCache):
             raise ValueError("allocation vector length mismatch")
         if any(u < 1 for u in units):
             raise ValueError("PIPP requires at least one way per partition")
-        self._alloc_ways = list(units)
+        # In place: the fused access kernel captures this list.
+        self._alloc_ways[:] = units
 
     def insertion_position(self, part: int) -> int:
         """Chain index (from the LRU end) where ``part`` inserts."""

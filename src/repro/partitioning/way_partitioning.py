@@ -58,6 +58,8 @@ class WayPartitionedCache(PartitionedCache):
         base, extra = divmod(array.num_ways, num_partitions)
         self._way_counts = [base + (1 if p < extra else 0) for p in range(num_partitions)]
         self._way_owner = self._assign_ways(self._way_counts)
+        if type(self) is WayPartitionedCache:
+            self._install_fused()
 
     @property
     def allocation_total(self) -> int:
@@ -76,8 +78,10 @@ class WayPartitionedCache(PartitionedCache):
             raise ValueError(
                 f"way allocations must sum to {self.array.num_ways}, got {sum(units)}"
             )
-        self._way_counts = list(units)
-        self._way_owner = self._assign_ways(units)
+        # In place: the fused access kernel captures both lists, and
+        # UCP reallocates every epoch.
+        self._way_counts[:] = units
+        self._way_owner[:] = self._assign_ways(units)
 
     @staticmethod
     def _assign_ways(counts: list[int]) -> list[int]:

@@ -16,6 +16,7 @@ family here is the comparison set for Figure 11.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from array import array
 
 from repro.arrays.base import Candidate
 
@@ -94,7 +95,11 @@ class SlotStatePolicy(ReplacementPolicy):
 
     def __init__(self, num_lines: int, initial: int = 0):
         super().__init__(num_lines)
-        self.state = [initial] * num_lines
+        # Flat structure-of-arrays state column: every concrete policy
+        # stores small non-negative integers (timestamps mod 256,
+        # RRPVs, frequency counters), so one signed 64-bit word per
+        # slot replaces a list of PyObject pointers.
+        self.state = array("q", [initial]) * num_lines
 
     def on_move(self, src: int, dst: int) -> None:
         self.state[dst] = self.state[src]

@@ -184,6 +184,9 @@ def as_reference_cache(cache):
         raise ValueError(
             f"no reference implementation for {type(cache).__name__}"
         )
+    # A fused kernel installed by the concrete class would shadow the
+    # re-typed class's access method; drop it along with the re-type.
+    cache._remove_fused()
     cache.__class__ = ref_cls
     return cache
 

@@ -16,6 +16,17 @@ class TestSkewPositionCache:
             # Second call returns the memoised tuple unchanged.
             assert array.positions(addr) == cached
 
+    def test_position_cache_is_bounded(self):
+        array = SkewAssociativeArray(64, 4, seed=11)
+        cap = array._position_cache_cap
+        assert cap == 1 << 16
+        expected = {}
+        for addr in range(cap + cap // 4):
+            expected[addr] = array.positions(addr)
+            assert len(array._position_cache) <= cap
+        for addr in (0, cap - 1, cap, cap + cap // 4 - 1):
+            assert array.positions(addr) == expected[addr]
+
     def test_positions_stable_across_installs(self):
         array = ZCacheArray(256, 4, candidates_per_miss=16, seed=6)
         before = {a: array.positions(a) for a in range(100)}
@@ -33,6 +44,22 @@ class TestSetAssocIndexCache:
         first = [array.set_index(a) for a in range(300)]
         second = [array.set_index(a) for a in range(300)]
         assert first == second
+
+    def test_index_cache_is_bounded(self):
+        # A long run over far more distinct addresses than the cap must
+        # not grow the memo without bound; after the wholesale flush the
+        # returned indices must still be correct.
+        array = SetAssociativeArray(64, 4, hashed=True, seed=9)
+        cap = array._index_cache_cap
+        assert cap == 1 << 16  # max(4 * 64, 1 << 16)
+        indices = {}
+        for addr in range(cap + cap // 2):
+            indices[addr] = array.set_index(addr)
+            assert len(array._index_cache) <= cap
+        # Spot-check entries from before and after the flush.
+        for addr in (0, 1, cap - 1, cap, cap + cap // 2 - 1):
+            assert array.set_index(addr) == indices[addr]
+            assert array.set_index(addr) == array._hash(addr)
 
     def test_positions_lie_in_the_indexed_set(self):
         array = SetAssociativeArray(1024, 16, hashed=True, seed=8)

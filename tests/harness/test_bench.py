@@ -1,0 +1,58 @@
+"""Tests for the pinned micro-benchmark harness.
+
+The timing numbers themselves are host-dependent and not asserted;
+what is pinned here is the bench's *coverage*: the run must cross at
+least one repartitioning epoch (so the allocation path is inside the
+measured kernel), report the peak-memory footprint of both kernel
+implementations, and hold the optimized == reference identity.
+"""
+
+from repro.harness.bench import (
+    BENCH_EPOCH_CYCLES,
+    SMOKE_INSTRUCTIONS,
+    _run_once,
+    bench_kernel,
+)
+
+
+class TestEpochCoverage:
+    def test_smoke_run_crosses_a_repartitioning_epoch(self):
+        _, result, _, policy = _run_once(
+            "vantage-z4/52", True, SMOKE_INSTRUCTIONS, False
+        )
+        # Even the smoke run must outlast BENCH_EPOCH_CYCLES, or the
+        # bench silently stops covering UMON read-out + Lookahead +
+        # set_allocations.
+        assert result.total_cycles > BENCH_EPOCH_CYCLES
+        assert policy is not None
+        assert policy.last_allocation, (
+            "pinned bench crossed no epoch: last_allocation is empty"
+        )
+        assert all(units >= 0 for units in policy.last_allocation)
+
+    def test_reference_run_repartitions_identically(self):
+        _, opt_result, _, opt_policy = _run_once(
+            "vantage-z4/52", True, SMOKE_INSTRUCTIONS, False
+        )
+        _, ref_result, _, ref_policy = _run_once(
+            "vantage-z4/52", True, SMOKE_INSTRUCTIONS, True
+        )
+        assert opt_result == ref_result
+        assert opt_policy.last_allocation == ref_policy.last_allocation
+
+
+class TestBenchKernelReport:
+    def test_row_reports_identity_memory_and_allocation(self):
+        row = bench_kernel("vantage-z4/52", True, SMOKE_INSTRUCTIONS, 1)
+        assert row["identical"] is True
+        assert row["partitioned"] is True
+        assert row["last_allocation"], "headline row must record an allocation"
+        # tracemalloc peaks for both sides, in KiB.
+        assert row["optimized_peak_kib"] > 0
+        assert row["reference_peak_kib"] > 0
+
+    def test_unpartitioned_row_has_no_allocation(self):
+        row = bench_kernel("lru-sa16", False, 4_000, 1)
+        assert row["identical"] is True
+        assert row["partitioned"] is False
+        assert row["last_allocation"] is None

@@ -115,7 +115,7 @@ def _walk_parity(array: CacheArray, addrs: list[int]) -> None:
         slots = list(slots)
         assert slots == [c.slot for c in full[: len(slots)]]
         if has_empty:
-            assert array._tags[slots[-1]] is None
+            assert array.addr_at(slots[-1]) is None
         rebuilt = [
             array.make_candidate(slots, parents, i) for i in range(len(slots))
         ]
@@ -180,7 +180,7 @@ def test_zcache_full_mode_paths_are_valid():
             cand = array.make_candidate(slots, parents, i)
             assert cand.slot == slots[i]
             for parent, child in zip(cand.path, cand.path[1:]):
-                line = array._tags[parent]
+                line = array.addr_at(parent)
                 assert line is not None
                 assert child in array.positions(line)
         victim = array.make_candidate(slots, parents, len(slots) - 1)
