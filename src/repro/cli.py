@@ -15,6 +15,15 @@ Subcommands:
 - ``traces``: inspect (``--list``, the default) or delete
   (``--purge``) the on-disk trace-chunk store named by
   ``REPRO_TRACE_CACHE``.
+- ``serve``: run the resident experiment daemon (Unix socket; TCP
+  via ``REPRO_SERVICE_ADDR`` or ``--tcp``).
+- ``submit``: run one mix through a running daemon (same output as
+  ``run-mix``, but simulated by the shared service).
+- ``svc-stats``: a running daemon's telemetry tree (text or JSON).
+
+Interrupts: Ctrl-C exits with code 130 and SIGTERM with 143, after
+shutting worker pools down quietly (workers ignore SIGINT; only the
+parent reports).
 
 Example::
 
@@ -182,6 +191,112 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _service_client(args):
+    from repro.service import ServiceClient
+
+    tcp = None
+    if getattr(args, "tcp", None):
+        host, _, port = args.tcp.rpartition(":")
+        tcp = (host, int(port))
+    return ServiceClient(socket_path=args.socket, tcp=tcp)
+
+
+def _cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.service import ServiceConfig, serve
+    from repro.service.protocol import default_socket
+
+    tcp = None
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        tcp = (host, int(port))
+    config = ServiceConfig(
+        socket_path=Path(args.socket) if args.socket else default_socket(),
+        tcp=tcp,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        job_timeout=args.job_timeout,
+        max_retries=args.max_retries,
+        use_cache=not args.no_cache,
+    )
+    print(
+        f"repro daemon: socket {config.socket_path}, "
+        f"{config.workers} workers, queue {config.queue_size}"
+        + (f", tcp {config.tcp[0]}:{config.tcp[1]}" if config.tcp else "")
+    )
+    serve(config)
+    print("repro daemon: stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.harness import SimJob
+    from repro.sim import large_system, small_system
+    from repro.workloads import make_mix
+
+    config = small_system() if args.system == "small" else large_system()
+    if args.epoch_cycles:
+        from dataclasses import replace
+
+        config = replace(config, epoch_cycles=args.epoch_cycles)
+    apps_per_slot = config.num_cores // 4
+    mix = make_mix(args.mix_class, args.mix_index, apps_per_slot=apps_per_slot)
+    job = SimJob(mix, args.scheme, config, args.instructions, seed=args.seed)
+    with _service_client(args) as svc:
+        if args.no_wait:
+            ticket = svc.submit(job, priority=args.priority, wait=False)
+            print(
+                f"submitted job {ticket['id']} "
+                f"({'deduped' if ticket['deduped'] else ticket['state']})"
+            )
+            return 0
+        outcome = svc.submit(job, priority=args.priority)
+    result = outcome.result
+    print(f"mix {mix.name}: {[a.name for a in mix.apps]}")
+    print(f"scheme {args.scheme}: throughput {result.throughput:.3f}")
+    for i, core in enumerate(result.cores):
+        print(
+            f"  core {i:>2d} {mix.apps[i].name:12s} ipc={core.ipc:6.3f} "
+            f"l2-miss-rate={result.l2_miss_rates[i]:.3f}"
+        )
+    if outcome.managed_eviction_fraction is not None:
+        print(
+            f"managed-eviction fraction: "
+            f"{outcome.managed_eviction_fraction:.4f}"
+        )
+    return 0
+
+
+def _cmd_svc_stats(args) -> int:
+    import json
+
+    with _service_client(args) as svc:
+        tree = svc.stats()
+    if args.json:
+        from pathlib import Path
+
+        text = json.dumps(tree, indent=2) + "\n"
+        if args.json == "-":
+            print(text, end="")
+        else:
+            Path(args.json).write_text(text)
+            print(f"wrote daemon stats tree to {args.json}")
+        return 0
+
+    def walk(node, prefix=""):
+        for name, value in node.items():
+            path = f"{prefix}{name}"
+            if isinstance(value, dict) and not {"count", "total"} <= set(value):
+                walk(value, path + ".")
+            else:
+                print(f"  {path:42s} {value}")
+
+    print("daemon stats:")
+    walk(tree)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Vantage cache-partitioning reproduction"
@@ -246,6 +361,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="delete every stored trace chunk",
     )
 
+    p = sub.add_parser("serve", help="run the resident experiment daemon")
+    p.add_argument("--socket", default=None, help="Unix socket path")
+    p.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="also listen on TCP (or set REPRO_SERVICE_ADDR)",
+    )
+    p.add_argument("--workers", type=_positive_int, default=None)
+    p.add_argument("--queue-size", type=_positive_int, default=256)
+    p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry jobs that run longer than this",
+    )
+    p.add_argument("--max-retries", type=int, default=2)
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the on-disk results cache",
+    )
+
+    p = sub.add_parser("submit", help="run one mix via a running daemon")
+    p.add_argument("--socket", default=None, help="daemon Unix socket path")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT")
+    p.add_argument("--mix-class", default="sftn")
+    p.add_argument("--mix-index", type=int, default=1)
+    p.add_argument("--scheme", default="vantage-z4/52")
+    p.add_argument("--system", choices=("small", "large"), default="small")
+    p.add_argument("--instructions", type=int, default=400_000)
+    p.add_argument("--epoch-cycles", type=int, default=250_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--priority", type=int, default=0)
+    p.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="print the submission ticket instead of waiting",
+    )
+
+    p = sub.add_parser("svc-stats", help="a running daemon's telemetry tree")
+    p.add_argument("--socket", default=None, help="daemon Unix socket path")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT")
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the tree as JSON to PATH ('-' for stdout)",
+    )
+
     p = sub.add_parser(
         "bench", help="time the optimized kernels against the reference"
     )
@@ -270,12 +436,46 @@ _COMMANDS = {
     "schemes": _cmd_schemes,
     "traces": _cmd_traces,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "svc-stats": _cmd_svc_stats,
 }
+
+#: Conventional 128+signal exit codes for interrupted runs.
+EXIT_SIGINT = 130
+EXIT_SIGTERM = 143
+
+
+def _sigterm_to_exit(signum, frame):
+    raise SystemExit(EXIT_SIGTERM)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    # A terminal Ctrl-C or a supervisor's SIGTERM must shut worker
+    # pools down without spraying per-process tracebacks, and exit
+    # with a distinct code the caller can script against.  Workers
+    # themselves ignore SIGINT (see repro.harness.parallel.worker_init
+    # and repro.service.workers._worker_main); the daemon installs
+    # its own asyncio handlers and exits 0 on a clean shutdown.
+    import signal as _signal
+
+    previous = None
+    try:
+        previous = _signal.signal(_signal.SIGTERM, _sigterm_to_exit)
+    except (OSError, ValueError):
+        pass  # not the main thread (embedding); keep default handling
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("\ninterrupted", flush=True)
+        return EXIT_SIGINT
+    finally:
+        if previous is not None:
+            try:
+                _signal.signal(_signal.SIGTERM, previous)
+            except (OSError, ValueError):
+                pass
 
 
 if __name__ == "__main__":

@@ -14,6 +14,15 @@ simulation -- including all seeds -- and workers run exactly the same
 deduplicated before submission, which is also what lets a sweep share
 one baseline simulation across schemes.
 
+The building blocks are exported separately because the resident
+daemon (:mod:`repro.service`) reuses them: :func:`plan_jobs` performs
+the dedupe/cache split, :func:`execute_job` is the worker-side entry
+point, and :func:`record_outcome` is the telemetry/persistence tail.
+``run_jobs`` itself survives worker crashes: a ``BrokenProcessPool``
+loses only the not-yet-returned jobs, which are resubmitted to a
+fresh pool (after :data:`MAX_POOL_FAILURES` pool losses the leftovers
+run inline in this process).
+
 Environment knobs:
 
 - ``REPRO_WORKERS``: worker process count (default: CPU count).
@@ -25,8 +34,10 @@ Environment knobs:
 from __future__ import annotations
 
 import os
+import signal
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro import traces
@@ -41,6 +52,14 @@ from repro.workloads import Mix
 #: simulations only; cache hits cost no simulation time).
 JOB_WALL_TIME = Distribution("job_wall_time", "per-job wall time, seconds")
 
+#: Pool losses tolerated per ``run_jobs`` call before the remaining
+#: jobs fall back to inline execution in the calling process.
+MAX_POOL_FAILURES = 2
+
+#: Process-wide supervision counters (read by the harness stats tree).
+POOL_FAILURES = 0
+JOBS_RETRIED = 0
+
 
 def register_stats(group) -> None:
     """Register harness-level telemetry (job timing, results cache)."""
@@ -53,6 +72,16 @@ def register_stats(group) -> None:
         "job_wall_time",
         JOB_WALL_TIME.value,
         "per-job wall time distribution, seconds",
+    )
+    group.stat(
+        "pool_failures",
+        lambda: POOL_FAILURES,
+        "worker pools lost to crashed processes",
+    )
+    group.stat(
+        "jobs_retried",
+        lambda: JOBS_RETRIED,
+        "jobs resubmitted after a pool failure",
     )
     results_cache.register_stats(
         group.group("results_cache", "on-disk result cache")
@@ -108,7 +137,20 @@ def default_workers() -> int:
     return os.cpu_count() or 1
 
 
-def _execute(job: SimJob) -> SimOutcome:
+def worker_init() -> None:
+    """Initializer for simulation worker processes.
+
+    Workers ignore SIGINT: a Ctrl-C lands on the whole process group,
+    and only the parent should act on it (shutting the pool down
+    cleanly instead of every worker spraying a traceback).
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):
+        pass
+
+
+def execute_job(job: SimJob) -> SimOutcome:
     """Run one job (in a worker process or inline)."""
     from repro.harness.runner import run_mix
 
@@ -138,16 +180,19 @@ def _execute(job: SimJob) -> SimOutcome:
     )
 
 
-def run_jobs(
-    jobs: list[SimJob],
-    workers: int | None = None,
-    use_cache: bool = True,
-) -> list[SimOutcome]:
-    """Run ``jobs`` and return their outcomes in job order.
+#: Backwards-compatible alias (pre-service name).
+_execute = execute_job
 
-    Identical jobs are simulated once; results already in the on-disk
-    cache are not simulated at all.  ``workers=1`` (or a single
-    pending job) runs inline, with no worker processes.
+
+def plan_jobs(
+    jobs: list[SimJob], use_cache: bool = True
+) -> tuple[list[str], dict[str, SimOutcome], list[tuple[str, SimJob]]]:
+    """Dedupe ``jobs`` and split them into cached and pending work.
+
+    Returns ``(keys, outcomes, pending)``: the per-job cache keys (in
+    submission order, duplicates included), outcomes already satisfied
+    by the on-disk cache, and the unique ``(key, job)`` pairs that
+    still need a simulation -- in first-submission order.
     """
     keys = [results_cache.job_key(job) for job in jobs]
     outcomes: dict[str, SimOutcome] = {}
@@ -162,32 +207,84 @@ def run_jobs(
             outcomes[key] = cached
         else:
             pending.append((key, job))
+    return keys, outcomes, pending
+
+
+def record_outcome(key: str, outcome: SimOutcome, use_cache: bool = True) -> None:
+    """Account for a freshly simulated outcome and persist it."""
+    if outcome.wall_time_s is not None:
+        JOB_WALL_TIME.record(outcome.wall_time_s)
+    if use_cache:
+        results_cache.store(key, outcome)
+
+
+def _run_pooled(jobs: list[SimJob], workers: int) -> list[SimOutcome]:
+    """Execute ``jobs`` over worker processes, surviving crashes.
+
+    ``pool.map`` yields outcomes in submission order, so when a worker
+    dies mid-sweep (``BrokenProcessPool``) everything already yielded
+    is kept and only the unfinished suffix is resubmitted to a fresh
+    pool.  After :data:`MAX_POOL_FAILURES` pool losses the leftovers
+    run inline: forward progress is guaranteed even on a host that
+    keeps OOM-killing workers.
+    """
+    global POOL_FAILURES, JOBS_RETRIED
+    outcomes: list[SimOutcome] = []
+    remaining = list(jobs)
+    failures = 0
+    while remaining:
+        if workers <= 1 or failures >= MAX_POOL_FAILURES:
+            outcomes.extend(execute_job(job) for job in remaining)
+            break
+        # Batch jobs per worker dispatch: submitting one job at a
+        # time pays a pickle round-trip per job, which dominates on
+        # large sweeps of short simulations.  ``map`` keeps result
+        # order aligned with ``remaining`` regardless of chunksize.
+        chunksize = max(1, len(remaining) // (workers * 4))
+        pool = ProcessPoolExecutor(
+            max_workers=min(workers, len(remaining)), initializer=worker_init
+        )
+        done: list[SimOutcome] = []
+        try:
+            for outcome in pool.map(execute_job, remaining, chunksize=chunksize):
+                done.append(outcome)
+        except BrokenProcessPool:
+            failures += 1
+            POOL_FAILURES += 1
+            outcomes.extend(done)
+            remaining = remaining[len(done):]
+            JOBS_RETRIED += len(remaining)
+            pool.shutdown(wait=False, cancel_futures=True)
+            continue
+        except KeyboardInterrupt:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        outcomes.extend(done)
+        remaining = []
+        pool.shutdown(wait=True)
+    return outcomes
+
+
+def run_jobs(
+    jobs: list[SimJob],
+    workers: int | None = None,
+    use_cache: bool = True,
+) -> list[SimOutcome]:
+    """Run ``jobs`` and return their outcomes in job order.
+
+    Identical jobs are simulated once; results already in the on-disk
+    cache are not simulated at all.  ``workers=1`` (or a single
+    pending job) runs inline, with no worker processes.
+    """
+    keys, outcomes, pending = plan_jobs(jobs, use_cache=use_cache)
 
     if pending:
         if workers is None:
             workers = default_workers()
         workers = min(workers, len(pending))
-        if workers <= 1:
-            fresh = [_execute(job) for _, job in pending]
-        else:
-            # Batch jobs per worker dispatch: submitting one job at a
-            # time pays a pickle round-trip per job, which dominates on
-            # large sweeps of short simulations.  ``map`` keeps result
-            # order aligned with ``pending`` regardless of chunksize.
-            chunksize = max(1, len(pending) // (workers * 4))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(
-                    pool.map(
-                        _execute,
-                        (job for _, job in pending),
-                        chunksize=chunksize,
-                    )
-                )
+        fresh = _run_pooled([job for _, job in pending], workers)
         for (key, _), outcome in zip(pending, fresh):
-            if outcome.wall_time_s is not None:
-                JOB_WALL_TIME.record(outcome.wall_time_s)
+            record_outcome(key, outcome, use_cache=use_cache)
             outcomes[key] = outcome
-            if use_cache:
-                results_cache.store(key, outcome)
 
     return [outcomes[key] for key in keys]

@@ -40,11 +40,17 @@ _DEFAULT_DIR = Path("results") / "cache"
 HITS = 0
 MISSES = 0
 STORES = 0
+CORRUPT = 0
 
 
 def counters() -> dict[str, int]:
     """Current hit/miss/store counts for this process."""
-    return {"hits": HITS, "misses": MISSES, "stores": STORES}
+    return {
+        "hits": HITS,
+        "misses": MISSES,
+        "stores": STORES,
+        "corrupt_entries": CORRUPT,
+    }
 
 
 def register_stats(group) -> None:
@@ -52,6 +58,11 @@ def register_stats(group) -> None:
     group.stat("hits", lambda: HITS, "results served from the on-disk cache")
     group.stat("misses", lambda: MISSES, "results that had to be simulated")
     group.stat("stores", lambda: STORES, "fresh results persisted to disk")
+    group.stat(
+        "corrupt_entries",
+        lambda: CORRUPT,
+        "torn or unpicklable entries dropped and treated as misses",
+    )
 
 
 def cache_enabled() -> bool:
@@ -101,21 +112,33 @@ def _entry_path(key: str) -> Path:
 
 
 def load(key: str):
-    """The cached outcome for ``key``, or ``None``."""
-    global HITS, MISSES
+    """The cached outcome for ``key``, or ``None``.
+
+    A corrupt entry -- torn write, truncation, stale class layout, or
+    any other unpickling failure -- is never an error: the bad file is
+    deleted, ``corrupt_entries`` is bumped, and the lookup reports a
+    miss so the sweep simply re-simulates the job.
+    """
+    global HITS, MISSES, CORRUPT
     if not cache_enabled():
         return None
     path = _entry_path(key)
     try:
         with path.open("rb") as fh:
             outcome = pickle.load(fh)
-    except FileNotFoundError:
+    except (FileNotFoundError, IsADirectoryError):
         MISSES += 1
         return None
-    except (pickle.UnpicklingError, EOFError, AttributeError):
-        # Torn write or stale class layout: drop the entry.
-        path.unlink(missing_ok=True)
+    except Exception:
+        # Unpickling a torn or hostile payload can raise nearly
+        # anything (UnpicklingError, EOFError, AttributeError,
+        # ImportError, ValueError, ...): drop the entry and miss.
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
         MISSES += 1
+        CORRUPT += 1
         return None
     HITS += 1
     return outcome

@@ -1,0 +1,47 @@
+"""repro.service: the resident experiment daemon.
+
+The batch harness (:mod:`repro.harness.parallel`) builds a worker
+pool per sweep and dies with its caller; this package keeps the
+simulator resident and multi-client, the way the related cache-QoS
+work assumes a shared service arbitrating partitioning studies:
+
+- :mod:`~repro.service.protocol`: versioned JSON-lines wire format
+  (``submit`` / ``status`` / ``watch`` / ``cancel`` / ``stats`` /
+  ``shutdown``) over a Unix socket, TCP via ``REPRO_SERVICE_ADDR``;
+- :mod:`~repro.service.jobqueue`: bounded priority queue that dedupes
+  submissions through the harness's content-addressed job keys;
+- :mod:`~repro.service.workers`: supervised persistent worker
+  processes (warm trace store and fused kernels, per-job timeouts,
+  bounded crash retries);
+- :mod:`~repro.service.server`: the asyncio daemon;
+- :mod:`~repro.service.client`: the synchronous
+  :class:`~repro.service.client.ServiceClient`.
+
+Guarantee carried over from the harness: an outcome returned by the
+daemon is bitwise-identical to a serial ``run_mix`` with the same
+inputs (``tests/service/`` asserts it), because workers run the
+exact same :func:`~repro.harness.parallel.execute_job` path.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobqueue import JobEntry, JobQueue, QueueClosed, QueueFull
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import ExperimentDaemon, ServiceConfig, serve
+from repro.service.workers import JobTimeout, WorkerCrashed, WorkerPool
+
+__all__ = [
+    "ExperimentDaemon",
+    "JobEntry",
+    "JobQueue",
+    "JobTimeout",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueueClosed",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "WorkerCrashed",
+    "WorkerPool",
+    "serve",
+]

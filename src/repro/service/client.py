@@ -1,0 +1,182 @@
+"""Synchronous client for the experiment daemon.
+
+:class:`ServiceClient` wraps one socket connection (Unix by default,
+TCP when the daemon published ``REPRO_SERVICE_ADDR``) and exposes the
+protocol as plain methods.  It is deliberately synchronous: sweep
+scripts, the CLI and tests call it like a function; concurrency comes
+from opening one client per thread or process, which is exactly the
+multi-client scenario the daemon exists to arbitrate.
+
+Example::
+
+    from repro.harness import SimJob
+    from repro.service import ServiceClient
+
+    with ServiceClient() as svc:
+        outcome = svc.submit(SimJob(mix, "vantage-z4/52", config, 100_000))
+        print(outcome.result.throughput)
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+
+from repro.service import protocol
+
+
+class ServiceError(Exception):
+    """The daemon answered with an ``error`` line."""
+
+
+class ServiceClient:
+    """One connection to a running experiment daemon."""
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        tcp: tuple[str, int] | None = None,
+        timeout: float | None = None,
+    ):
+        self.socket_path = Path(socket_path) if socket_path else None
+        self.tcp = tcp
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._fh = None
+
+    # -- connection -----------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        tcp = self.tcp if self.tcp is not None else (
+            None if self.socket_path is not None else protocol.tcp_addr()
+        )
+        if tcp is not None:
+            sock = socket.create_connection(tcp, timeout=self.timeout)
+        else:
+            path = self.socket_path or protocol.default_socket()
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(str(path))
+        self._sock = sock
+        self._fh = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- wire helpers ---------------------------------------------------
+
+    def _send(self, msg: dict) -> None:
+        self.connect()
+        self._fh.write(protocol.encode(msg))
+        self._fh.flush()
+
+    def _recv(self) -> dict:
+        line = self._fh.readline(protocol.MAX_LINE_BYTES + 2)
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        return protocol.decode(line)
+
+    def _request(self, msg: dict, expect: str) -> dict:
+        """Send one request; return the first non-error reply of kind
+        ``expect`` (raises :class:`ServiceError` on ``error``)."""
+        self._send(msg)
+        reply = self._recv()
+        if reply["op"] == "error":
+            raise ServiceError(reply.get("error", "unknown error"))
+        if reply["op"] != expect:
+            raise ServiceError(
+                f"expected {expect!r} reply, got {reply['op']!r}"
+            )
+        return reply
+
+    # -- operations -----------------------------------------------------
+
+    def ping(self) -> bool:
+        self._request({"op": "ping"}, "pong")
+        return True
+
+    def submit(
+        self,
+        job,
+        priority: int = 0,
+        wait: bool = True,
+    ):
+        """Run ``job`` on the daemon.
+
+        With ``wait=True`` (default) blocks until the simulation
+        finishes and returns its
+        :class:`~repro.harness.parallel.SimOutcome` -- bitwise-equal
+        to a serial ``run_mix`` with the same inputs.  With
+        ``wait=False`` returns the submission ticket dict (``id``,
+        ``state``, ``deduped``, ``cached``) immediately.
+        """
+        ticket = self._request(
+            {
+                "op": "submit",
+                "job": protocol.pack(job),
+                "priority": priority,
+                "wait": wait,
+            },
+            "submitted",
+        )
+        if not wait:
+            return ticket
+        reply = self._recv()
+        if reply["op"] == "error":
+            raise ServiceError(reply.get("error", "job failed"))
+        if reply["op"] != "result":
+            raise ServiceError(f"expected 'result', got {reply['op']!r}")
+        return protocol.unpack(reply["outcome"])
+
+    def status(self, job_id: int | None = None) -> dict:
+        msg: dict = {"op": "status"}
+        if job_id is not None:
+            msg["id"] = job_id
+        return self._request(msg, "status")
+
+    def watch(self, job_id: int, timeout: float | None = None):
+        """Yield state-transition events until the job is terminal."""
+        self._send({"op": "watch", "id": job_id})
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"watch({job_id}) timed out")
+            event = self._recv()
+            if event["op"] == "error":
+                raise ServiceError(event.get("error", "watch failed"))
+            yield event
+            if event.get("state") in protocol.TERMINAL_STATES:
+                return
+
+    def cancel(self, job_id: int) -> dict:
+        return self._request({"op": "cancel", "id": job_id}, "ok")
+
+    def stats(self) -> dict:
+        """The daemon's stats-tree snapshot (PR-2 JSON schema)."""
+        return self._request({"op": "stats"}, "stats")["tree"]
+
+    def shutdown(self) -> None:
+        """Stop the daemon (acknowledged before it exits)."""
+        self._request({"op": "shutdown"}, "ok")
+        self.close()

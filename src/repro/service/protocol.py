@@ -1,0 +1,143 @@
+"""Versioned JSON-lines wire protocol for the experiment daemon.
+
+Every message is one JSON object per line, carrying the protocol
+version under ``"v"`` and the operation under ``"op"``.  Requests:
+
+- ``submit``: run a simulation job.  Fields: ``job`` (packed
+  :class:`~repro.harness.parallel.SimJob`), ``priority`` (int, lower
+  runs first, default 0), ``wait`` (bool: stream the result on this
+  connection once the job finishes, default true).
+- ``status``: one job's state (``id``) or a daemon summary (no id).
+- ``watch``: stream ``event`` lines for a job until it reaches a
+  terminal state.
+- ``cancel``: cancel a still-queued job by ``id``.
+- ``stats``: the daemon's telemetry tree snapshot (same JSON shape as
+  ``repro run-mix --stats-json``).
+- ``shutdown``: stop the daemon after replying.
+- ``ping``: liveness probe.
+
+Responses mirror the request ids: ``submitted``, ``status``,
+``event``, ``result``, ``stats``, ``pong``, ``ok`` and ``error``.
+
+Simulation jobs and outcomes are Python object graphs (dataclasses
+holding arrays and nested results), so they cross the JSON boundary
+as base64-encoded pickles -- exactly the bytes a
+``ProcessPoolExecutor`` worker would exchange, which is what keeps
+daemon results bitwise-identical to the batch harness.  The daemon
+listens on a local Unix socket (or a loopback TCP port the operator
+explicitly opted into), so the pickle channel has the same trust
+boundary as the worker pool itself.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from pathlib import Path
+
+#: Bump on any incompatible message-shape change.  A daemon rejects
+#: requests whose ``v`` differs from its own.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on one encoded line (guards the daemon against a client
+#: streaming garbage into its line buffer).  Outcomes for the paper's
+#: systems are a few hundred KiB; 64 MiB is comfortably above any
+#: legitimate job or outcome.
+MAX_LINE_BYTES = 64 << 20
+
+#: Job lifecycle states, as they appear on the wire.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States after which a job's record never changes again.
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized or version-mismatched message."""
+
+
+def default_socket() -> Path:
+    """The daemon's default Unix-socket path.
+
+    ``REPRO_SERVICE_SOCKET`` overrides; the fallback sits next to the
+    results cache so one checkout's clients and daemon agree.
+    """
+    override = os.environ.get("REPRO_SERVICE_SOCKET")
+    if override:
+        return Path(override)
+    return Path("results") / "service.sock"
+
+
+def tcp_addr() -> tuple[str, int] | None:
+    """Optional TCP endpoint from ``REPRO_SERVICE_ADDR`` (host:port)."""
+    raw = os.environ.get("REPRO_SERVICE_ADDR")
+    if not raw:
+        return None
+    host, sep, port = raw.rpartition(":")
+    if not sep or not host:
+        raise ProtocolError(
+            f"REPRO_SERVICE_ADDR must be host:port, got {raw!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ProtocolError(
+            f"REPRO_SERVICE_ADDR port is not an integer: {raw!r}"
+        ) from None
+
+
+def encode(msg: dict) -> bytes:
+    """One wire line (version stamped, newline terminated)."""
+    msg.setdefault("v", PROTOCOL_VERSION)
+    line = json.dumps(msg, separators=(",", ":")).encode()
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message of {len(line)} bytes exceeds the line cap")
+    return line + b"\n"
+
+
+def decode(line: bytes) -> dict:
+    """Parse and validate one wire line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("line exceeds the protocol size cap")
+    try:
+        msg = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError("message is not a JSON object")
+    version = msg.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"speaking {PROTOCOL_VERSION}"
+        )
+    op = msg.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("message has no 'op'")
+    return msg
+
+
+def pack(obj) -> str:
+    """A Python object as a base64 pickle string (jobs, outcomes)."""
+    return base64.b64encode(
+        pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def unpack(blob: str):
+    """Inverse of :func:`pack`."""
+    try:
+        return pickle.loads(base64.b64decode(blob.encode("ascii")))
+    except Exception as exc:
+        raise ProtocolError(f"unpackable payload: {exc!r}") from None
+
+
+def error(message: str, **extra) -> dict:
+    """An ``error`` response line."""
+    return {"op": "error", "error": message, **extra}

@@ -1,0 +1,282 @@
+"""Supervised persistent simulation workers.
+
+The batch harness tears its ``ProcessPoolExecutor`` down after every
+sweep; the daemon instead keeps a fixed set of worker *processes*
+resident, so each worker's in-process trace-chunk LRU and fused
+kernels stay warm across requests from every client.
+
+Each worker is one forked process running :func:`_worker_main`: a
+loop that receives a pickled :class:`~repro.harness.parallel.SimJob`
+over a duplex pipe, runs the exact
+:func:`~repro.harness.parallel.execute_job` code path the batch
+harness and a serial ``run_mix`` use, and sends the outcome back
+(with its trace-store counters piggybacked for daemon telemetry).
+
+Supervision lives in :class:`WorkerPool`: one asyncio task per worker
+slot pulls entries off the :class:`~repro.service.jobqueue.JobQueue`
+and drives its worker through a thread (pipe reads block).  Failure
+is contained per job:
+
+- a worker that *crashes* (SIGKILL, OOM, segfault) quarantines only
+  itself -- the supervisor respawns the process and re-queues the
+  entry at the front of its priority class, up to
+  ``max_retries`` times, while every other slot keeps serving;
+- a job that *times out* kills the worker (the only way to stop a
+  runaway fork) and is retried under the same bound;
+- a job that raises a Python exception is a deterministic failure:
+  it is reported to the client without retry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import time
+
+from repro.harness.parallel import execute_job, record_outcome
+from repro.telemetry import Distribution
+
+
+class WorkerCrashed(Exception):
+    """The worker process died before returning a result."""
+
+
+class JobTimeout(Exception):
+    """The job exceeded the daemon's per-job wall-time budget."""
+
+
+def _worker_main(conn) -> None:
+    """Worker-process loop: jobs in, outcomes out, until ``stop``."""
+    # The parent owns interrupt handling (same contract as the batch
+    # pool's initializer): a terminal Ctrl-C must not spray worker
+    # tracebacks.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):
+        pass
+    from repro import traces
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == "stop":
+            break
+        job = msg[1]
+        try:
+            outcome = execute_job(job)
+        except Exception as exc:  # deterministic job failure
+            reply = ("err", f"{type(exc).__name__}: {exc}")
+        else:
+            reply = ("ok", outcome)
+        try:
+            conn.send((*reply, traces.get_store().counters()))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class WorkerProcess:
+    """One resident worker and its parent-side pipe end."""
+
+    def __init__(self):
+        ctx = multiprocessing.get_context()
+        self._conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child,), daemon=True
+        )
+        self.proc.start()
+        child.close()
+        #: Latest trace-store counters reported by this worker.
+        self.trace_counters: dict[str, int] = {}
+        self.jobs_done = 0
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid
+
+    def run(self, job, timeout: float | None):
+        """Execute ``job`` on this worker (blocking; call in a thread).
+
+        Raises :class:`WorkerCrashed` if the process dies and
+        :class:`JobTimeout` if ``timeout`` seconds elapse first; the
+        caller decides whether to retry and must discard this worker
+        after either.
+        """
+        try:
+            self._conn.send(("job", job))
+        except (BrokenPipeError, OSError):
+            raise WorkerCrashed(f"worker {self.pid} pipe is closed") from None
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            step = 0.5
+            if deadline is not None:
+                step = min(step, deadline - time.monotonic())
+                if step <= 0:
+                    raise JobTimeout(
+                        f"job exceeded {timeout:.1f}s on worker {self.pid}"
+                    )
+            # ``poll`` also wakes on EOF, so a SIGKILLed worker is
+            # noticed immediately, not at the timeout.
+            if self._conn.poll(max(step, 0.01)):
+                break
+            if not self.proc.is_alive() and not self._conn.poll(0.01):
+                raise WorkerCrashed(f"worker {self.pid} died")
+        try:
+            msg = self._conn.recv()
+        except (EOFError, OSError):
+            raise WorkerCrashed(f"worker {self.pid} died mid-reply") from None
+        status, payload, counters = msg
+        self.trace_counters = counters
+        self.jobs_done += 1
+        if status == "err":
+            raise RuntimeError(payload)
+        return payload
+
+    def stop(self, grace: float = 2.0) -> None:
+        """Ask the worker to exit; escalate to SIGKILL after ``grace``."""
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(grace)
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(grace)
+        self._conn.close()
+
+    def kill(self) -> None:
+        """Hard-stop a runaway or crashed worker."""
+        if self.proc.is_alive():
+            self.proc.kill()
+            self.proc.join(2.0)
+        self._conn.close()
+
+
+class WorkerPool:
+    """Asyncio supervisor over a fixed set of worker slots."""
+
+    def __init__(
+        self,
+        queue,
+        workers: int,
+        job_timeout: float | None = None,
+        max_retries: int = 2,
+        use_cache: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError("worker count must be positive")
+        self.queue = queue
+        self.workers = workers
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.use_cache = use_cache
+        self._slots: dict[int, WorkerProcess | None] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._stopping = False
+        # Telemetry (pulled by the daemon's service stats group).
+        self.restarts = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.job_wall_time = Distribution(
+            "job_wall_time", "per-job wall time as measured by workers"
+        )
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        for slot in range(self.workers):
+            self._slots[slot] = await loop.run_in_executor(None, WorkerProcess)
+            self._tasks.append(
+                asyncio.create_task(
+                    self._supervise(slot), name=f"worker-slot-{slot}"
+                )
+            )
+
+    def trace_counters(self) -> dict[str, int]:
+        """Workers' trace-store counters, summed across slots."""
+        total: dict[str, int] = {}
+        for worker in self._slots.values():
+            if worker is None:
+                continue
+            for name, value in worker.trace_counters.items():
+                total[name] = total.get(name, 0) + value
+        return total
+
+    def alive(self) -> int:
+        return sum(
+            1
+            for w in self._slots.values()
+            if w is not None and w.proc.is_alive()
+        )
+
+    async def _respawn(self, slot: int) -> WorkerProcess:
+        loop = asyncio.get_running_loop()
+        old = self._slots[slot]
+        if old is not None:
+            await loop.run_in_executor(None, old.kill)
+        self.restarts += 1
+        worker = await loop.run_in_executor(None, WorkerProcess)
+        self._slots[slot] = worker
+        return worker
+
+    async def _supervise(self, slot: int) -> None:
+        from repro.service.jobqueue import QueueClosed
+
+        loop = asyncio.get_running_loop()
+        worker = self._slots[slot]
+        while not self._stopping:
+            try:
+                entry = await self.queue.next()
+            except QueueClosed:
+                break
+            self.queue.mark_running(entry)
+            try:
+                outcome = await loop.run_in_executor(
+                    None, worker.run, entry.job, self.job_timeout
+                )
+            except (WorkerCrashed, JobTimeout) as exc:
+                if isinstance(exc, JobTimeout):
+                    self.timeouts += 1
+                if self._stopping:
+                    self.queue.mark_failed(entry, str(exc))
+                    break
+                worker = await self._respawn(slot)
+                if entry.retries < self.max_retries:
+                    self.retries += 1
+                    self.queue.requeue(entry)
+                else:
+                    self.queue.mark_failed(
+                        entry,
+                        f"{exc} (gave up after {entry.retries} retries)",
+                    )
+            except RuntimeError as exc:
+                # The job itself raised in the worker: deterministic,
+                # not retried; the worker is healthy and kept.
+                self.queue.mark_failed(entry, str(exc))
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # Supervisor-side surprise (bad reply shape, pickle
+                # trouble): fail the job but keep the slot serving.
+                self.queue.mark_failed(entry, f"internal error: {exc!r}")
+                worker = await self._respawn(slot)
+            else:
+                if outcome.wall_time_s is not None:
+                    self.job_wall_time.record(outcome.wall_time_s)
+                record_outcome(entry.key, outcome, use_cache=self.use_cache)
+                self.queue.mark_done(entry, outcome)
+
+    async def stop(self) -> None:
+        self._stopping = True
+        self.queue.close()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self.queue.fail_running("daemon shutting down")
+        loop = asyncio.get_running_loop()
+        for slot, worker in self._slots.items():
+            if worker is not None:
+                await loop.run_in_executor(None, worker.stop)
+                self._slots[slot] = None

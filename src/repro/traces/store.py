@@ -45,6 +45,13 @@ from repro.traces.spec import TraceSpec
 #: only bounds pathological sweeps over thousands of distinct traces).
 MAX_PRODUCERS = 128
 
+#: Cap on the spec->key and meta-written memos.  A batch sweep never
+#: notices, but the experiment daemon's workers are resident for
+#: days, and an unbounded memo over every trace ever simulated is a
+#: slow leak.  Flushed wholesale (like the H3 position memos): the
+#: recompute cost is one content hash / one ``meta.json`` stat.
+MAX_KEY_MEMO = 4096
+
 _DEFAULT_MEM_CHUNKS = 128
 
 
@@ -89,6 +96,8 @@ class TraceStore:
         key = self._keys.get(spec)
         if key is None:
             key = spec.key(self.chunk_pairs)
+            if len(self._keys) >= MAX_KEY_MEMO:
+                self._keys.clear()
             self._keys[spec] = key
         return key
 
@@ -196,6 +205,8 @@ class TraceStore:
             os.replace(tmp, path)
             self.bytes_written += chunk.itemsize * len(chunk)
             if key not in self._meta_written:
+                if len(self._meta_written) >= MAX_KEY_MEMO:
+                    self._meta_written.clear()
                 self._meta_written.add(key)
                 meta = path.parent / "meta.json"
                 if not meta.exists():

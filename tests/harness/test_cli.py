@@ -99,3 +99,67 @@ class TestCommands:
         assert main(["schemes", "--fingerprints"]) == 0
         out = capsys.readouterr().out
         assert "[" in out
+
+
+class TestInterrupts:
+    """Ctrl-C and SIGTERM exit with distinct codes, no tracebacks."""
+
+    def test_keyboard_interrupt_exits_130(self, capsys, monkeypatch):
+        from repro import cli
+
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "list-apps", boom)
+        assert main(["list-apps"]) == cli.EXIT_SIGINT
+        assert "interrupted" in capsys.readouterr().out
+
+    def test_sigterm_exits_143(self, monkeypatch):
+        import os
+        import signal
+
+        from repro import cli
+
+        def term_self(args):
+            import time
+
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(5)  # never elapses: the handler raises first
+            return 0
+
+        monkeypatch.setitem(cli._COMMANDS, "list-apps", term_self)
+        with pytest.raises(SystemExit) as exc:
+            main(["list-apps"])
+        assert exc.value.code == cli.EXIT_SIGTERM
+
+    def test_sigterm_handler_restored(self):
+        import signal
+
+        before = signal.getsignal(signal.SIGTERM)
+        main(["size-unmanaged"])
+        assert signal.getsignal(signal.SIGTERM) == before
+
+
+class TestServiceVerbs:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.queue_size == 256
+        assert args.max_retries == 2
+        assert args.job_timeout is None
+        assert not args.no_cache
+
+    def test_submit_parser_mirrors_run_mix(self):
+        args = build_parser().parse_args(["submit", "--scheme", "lru-sa16"])
+        assert args.scheme == "lru-sa16"
+        assert args.instructions == 400_000
+        assert args.priority == 0
+
+    def test_svc_stats_refuses_when_no_daemon(self, tmp_path):
+        code_error = None
+        try:
+            code_error = main(
+                ["svc-stats", "--socket", str(tmp_path / "absent.sock")]
+            )
+        except (ConnectionRefusedError, FileNotFoundError):
+            code_error = "raised"
+        assert code_error == "raised"

@@ -146,3 +146,160 @@ def test_worker_pool_used_when_requested(cache_dir):
     inline = run_jobs(jobs, workers=1, use_cache=False)
     for a, b in zip(pooled, inline):
         assert a.result == b.result
+
+
+# -- crash robustness and dedupe ordering (service-era satellites) -----
+
+import signal
+from types import SimpleNamespace
+
+from concurrent.futures.process import BrokenProcessPool
+
+_CRASH_SEED = 9999
+
+
+def _crashy_execute(job):
+    """First execution of the poisoned job SIGKILLs its worker.
+
+    A flag file (inherited through the environment by forked pool
+    workers) makes the crash happen exactly once, so the retry pass
+    completes normally.
+    """
+    from repro.harness import parallel
+
+    flag = os.environ.get("REPRO_TEST_CRASH_FLAG")
+    if job.seed == _CRASH_SEED and flag and not os.path.exists(flag):
+        with open(flag, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return parallel._execute(job)
+
+
+def test_worker_crash_resubmits_unfinished_jobs(
+    cache_dir, monkeypatch, tmp_path
+):
+    """A worker dying mid-sweep loses only unfinished jobs: the sweep
+    retries them on a fresh pool and every outcome is still identical
+    to a serial run."""
+    from repro.harness import parallel
+
+    flag = tmp_path / "crashed-once"
+    monkeypatch.setenv("REPRO_TEST_CRASH_FLAG", str(flag))
+    monkeypatch.setattr(parallel, "execute_job", _crashy_execute)
+    config = small_system()
+    mix = make_mix("sftn", 1)
+    jobs = [
+        SimJob(mix, "lru-sa16", config, 4_000, seed=seed)
+        for seed in (_CRASH_SEED, 5, 6, 7)
+    ]
+    failures_before = parallel.POOL_FAILURES
+    retried_before = parallel.JOBS_RETRIED
+    outcomes = run_jobs(jobs, workers=2, use_cache=False)
+    assert flag.exists()  # the crash really happened
+    assert parallel.POOL_FAILURES == failures_before + 1
+    assert parallel.JOBS_RETRIED > retried_before
+    for job, outcome in zip(jobs, outcomes):
+        serial = run_mix(
+            job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+        ).result
+        assert outcome.result == serial
+
+
+def test_inline_fallback_after_repeated_pool_failures(cache_dir, monkeypatch):
+    """A host that keeps killing pools still finishes the sweep: after
+    MAX_POOL_FAILURES losses the leftovers run inline."""
+    from repro.harness import parallel
+
+    class AlwaysBrokenPool:
+        def __init__(self, max_workers=None, initializer=None):
+            pass
+
+        def map(self, fn, iterable, chunksize=1):
+            raise BrokenProcessPool("synthetic pool loss")
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            pass
+
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", AlwaysBrokenPool)
+    jobs = _jobs()[:2]
+    failures_before = parallel.POOL_FAILURES
+    outcomes = run_jobs(jobs, workers=2, use_cache=False)
+    assert parallel.POOL_FAILURES == failures_before + parallel.MAX_POOL_FAILURES
+    for job, outcome in zip(jobs, outcomes):
+        serial = run_mix(
+            job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+        ).result
+        assert outcome.result == serial
+
+
+def test_uncached_dedupe_preserves_submission_order(cache_dir, monkeypatch):
+    """With use_cache=False, interleaved duplicates still coalesce to
+    one execution each and outcomes come back in submission order."""
+    from repro.harness import parallel
+
+    executed = []
+
+    def fake_execute(job):
+        executed.append(job.seed)
+        return SimpleNamespace(wall_time_s=None, marker=job.seed)
+
+    monkeypatch.setattr(parallel, "execute_job", fake_execute)
+    config = small_system()
+    mix = make_mix("sftn", 1)
+    seeds = [1, 2, 1, 3, 2, 1]
+    jobs = [
+        SimJob(mix, "lru-sa16", config, INSTRUCTIONS, seed=s) for s in seeds
+    ]
+    outcomes = run_jobs(jobs, workers=1, use_cache=False)
+    assert [o.marker for o in outcomes] == seeds
+    assert executed == [1, 2, 3]  # one execution per unique job
+    assert outcomes[0] is outcomes[2] is outcomes[5]  # shared outcome
+    assert not cache_dir.exists()  # nothing persisted
+
+
+def test_uncached_pooled_run_matches_serial(cache_dir):
+    """The real multi-worker path with use_cache=False (previously
+    only the cached path was parity-tested)."""
+    jobs = _jobs()
+    pooled = run_jobs(jobs + jobs[:2], workers=2, use_cache=False)
+    for job, outcome in zip(jobs + jobs[:2], pooled):
+        serial = run_mix(
+            job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+        ).result
+        assert outcome.result == serial
+    assert not cache_dir.exists()
+
+
+def test_corrupt_cache_entry_is_dropped_and_counted(cache_dir):
+    """A torn or unpicklable cache file is a miss, not an error: the
+    bad entry is deleted, counted, and the sweep re-simulates."""
+    job = _jobs()[0]
+    key = results_cache.job_key(job)
+    path = results_cache._entry_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"\x80\x04 torn garbage, not a pickle")
+    corrupt_before = results_cache.CORRUPT
+    assert results_cache.load(key) is None
+    assert results_cache.CORRUPT == corrupt_before + 1
+    assert not path.exists()
+    assert results_cache.counters()["corrupt_entries"] >= 1
+    # The sweep recovers transparently and re-stores a good entry.
+    outcomes = run_jobs([job], workers=1)
+    serial = run_mix(
+        job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+    ).result
+    assert outcomes[0].result == serial
+    assert results_cache.load(key).result == serial
+
+
+def test_worker_init_ignores_sigint():
+    """Pool workers must leave SIGINT to the parent (no traceback
+    spray on Ctrl-C)."""
+    from repro.harness import parallel
+
+    previous = signal.getsignal(signal.SIGINT)
+    try:
+        parallel.worker_init()
+        assert signal.getsignal(signal.SIGINT) == signal.SIG_IGN
+    finally:
+        signal.signal(signal.SIGINT, previous)

@@ -1,0 +1,83 @@
+"""Wire-format guarantees of the daemon protocol."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service import protocol
+
+
+class TestFraming:
+    def test_encode_stamps_version_and_newline(self):
+        line = protocol.encode({"op": "ping"})
+        assert line.endswith(b"\n")
+        msg = json.loads(line)
+        assert msg["v"] == protocol.PROTOCOL_VERSION
+        assert msg["op"] == "ping"
+
+    def test_roundtrip(self):
+        msg = protocol.decode(protocol.encode({"op": "status", "id": 7}))
+        assert msg["op"] == "status"
+        assert msg["id"] == 7
+
+    def test_rejects_bad_json(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"not json\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1,2,3]\n")
+
+    def test_rejects_version_mismatch(self):
+        line = json.dumps({"v": 999, "op": "ping"}).encode() + b"\n"
+        with pytest.raises(protocol.ProtocolError, match="version"):
+            protocol.decode(line)
+
+    def test_rejects_missing_op(self):
+        line = json.dumps({"v": protocol.PROTOCOL_VERSION}).encode() + b"\n"
+        with pytest.raises(protocol.ProtocolError, match="op"):
+            protocol.decode(line)
+
+    def test_line_cap(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_LINE_BYTES", 64)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode({"op": "submit", "job": "x" * 100})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"{" + b"x" * 100)
+
+
+class TestPayloads:
+    def test_pack_unpack_roundtrip(self):
+        from repro.harness import SimJob
+        from repro.sim import small_system
+        from repro.workloads import make_mix
+
+        job = SimJob(make_mix("sftn", 1), "lru-sa16", small_system(), 4000)
+        packed = protocol.pack(job)
+        assert isinstance(packed, str)
+        assert protocol.unpack(packed) == job
+
+    def test_unpack_garbage_raises_protocol_error(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack("!!!not-base64-pickle!!!")
+
+
+class TestEndpoints:
+    def test_default_socket_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_SOCKET", "/tmp/x.sock")
+        assert str(protocol.default_socket()) == "/tmp/x.sock"
+
+    def test_default_socket_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_SOCKET", raising=False)
+        assert protocol.default_socket().name == "service.sock"
+
+    def test_tcp_addr_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVICE_ADDR", "127.0.0.1:7070")
+        assert protocol.tcp_addr() == ("127.0.0.1", 7070)
+        monkeypatch.setenv("REPRO_SERVICE_ADDR", "nonsense")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.tcp_addr()
+        monkeypatch.delenv("REPRO_SERVICE_ADDR")
+        assert protocol.tcp_addr() is None

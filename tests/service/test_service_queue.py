@@ -1,0 +1,202 @@
+"""JobQueue semantics: dedupe, priority order, backpressure, cancel.
+
+Entries hold asyncio futures, so every scenario runs inside
+``asyncio.run`` even when nothing is awaited -- mirroring how the
+daemon drives the queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.harness import SimJob
+from repro.service import JobQueue, QueueClosed, QueueFull, protocol
+from repro.sim import small_system
+from repro.workloads import make_mix
+
+
+def _job(seed: int = 0, instructions: int = 4000) -> SimJob:
+    return SimJob(
+        make_mix("sftn", 1), "lru-sa16", small_system(), instructions, seed=seed
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSubmit:
+    def test_distinct_jobs_enqueue(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            a, da = q.submit(_job(seed=1))
+            b, db = q.submit(_job(seed=2))
+            assert (da, db) == (False, False)
+            assert a.id != b.id
+            assert q.depth() == 2
+            assert q.submitted == 2
+
+        run(scenario())
+
+    def test_identical_jobs_coalesce(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            a, _ = q.submit(_job(seed=1))
+            b, deduped = q.submit(_job(seed=1))
+            assert deduped is True
+            assert b is a
+            assert a.refs == 2
+            assert q.depth() == 1
+            assert q.dedupe_hits == 1
+
+        run(scenario())
+
+    def test_dedupe_spans_running_state(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            a, _ = q.submit(_job(seed=1))
+            entry = await q.next()
+            q.mark_running(entry)
+            b, deduped = q.submit(_job(seed=1))
+            assert deduped and b is a
+            # ... but not terminal states: a finished job is done, a
+            # resubmission is new work (the results cache covers it).
+            q.mark_done(entry, outcome=object())
+            c, deduped = q.submit(_job(seed=1))
+            assert not deduped and c is not a
+
+        run(scenario())
+
+    def test_backpressure(self):
+        async def scenario():
+            q = JobQueue(maxsize=2)
+            q.submit(_job(seed=1))
+            q.submit(_job(seed=2))
+            with pytest.raises(QueueFull):
+                q.submit(_job(seed=3))
+            assert q.rejected == 1
+
+        run(scenario())
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            low, _ = q.submit(_job(seed=1), priority=5)
+            first, _ = q.submit(_job(seed=2), priority=0)
+            second, _ = q.submit(_job(seed=3), priority=0)
+            order = [await q.next() for _ in range(3)]
+            assert [e.id for e in order] == [first.id, second.id, low.id]
+
+        run(scenario())
+
+    def test_requeue_jumps_to_front_of_class(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            crashed, _ = q.submit(_job(seed=1))
+            q.submit(_job(seed=2))
+            entry = await q.next()
+            assert entry is crashed
+            q.mark_running(entry)
+            q.requeue(entry)
+            assert entry.retries == 1
+            assert (await q.next()) is crashed
+
+        run(scenario())
+
+    def test_next_waits_for_work(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+
+            async def feed():
+                await asyncio.sleep(0.01)
+                q.submit(_job(seed=9))
+
+            task = asyncio.create_task(feed())
+            entry = await asyncio.wait_for(q.next(), timeout=2)
+            await task
+            assert entry.job.seed == 9
+
+        run(scenario())
+
+
+class TestLifecycle:
+    def test_cancel_queued(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            entry, _ = q.submit(_job(seed=1))
+            q.cancel(entry.id)
+            assert entry.state == protocol.CANCELLED
+            assert q.depth() == 0
+            # Lazy heap deletion: next() must skip the corpse.
+            q.submit(_job(seed=2))
+            nxt = await q.next()
+            assert nxt.job.seed == 2
+
+        run(scenario())
+
+    def test_cancel_running_refuses(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            entry, _ = q.submit(_job(seed=1))
+            q.mark_running(await q.next())
+            with pytest.raises(ValueError):
+                q.cancel(entry.id)
+            with pytest.raises(KeyError):
+                q.cancel(10_000)
+
+        run(scenario())
+
+    def test_close_cancels_queued_and_stops_next(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            entry, _ = q.submit(_job(seed=1))
+            dropped = q.close()
+            assert dropped == [entry]
+            assert entry.state == protocol.CANCELLED
+            with pytest.raises(QueueClosed):
+                await q.next()
+            with pytest.raises(QueueClosed):
+                q.submit(_job(seed=2))
+
+        run(scenario())
+
+    def test_watchers_see_transitions(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            entry, _ = q.submit(_job(seed=1))
+            events: asyncio.Queue = asyncio.Queue()
+            entry.watchers.append(events)
+            q.mark_running(await q.next())
+            q.mark_done(entry, outcome="payload")
+            states = [events.get_nowait()["state"] for _ in range(2)]
+            assert states == [protocol.RUNNING, protocol.DONE]
+            assert await entry.future == "payload"
+
+        run(scenario())
+
+    def test_failed_entry_resolves_future(self):
+        async def scenario():
+            q = JobQueue(maxsize=8)
+            entry, _ = q.submit(_job(seed=1))
+            q.mark_running(await q.next())
+            q.mark_failed(entry, "worker exploded")
+            with pytest.raises(RuntimeError, match="worker exploded"):
+                await entry.future
+            assert q.failed == 1
+
+        run(scenario())
+
+    def test_history_prune_bounds_terminal_entries(self):
+        async def scenario():
+            q = JobQueue(maxsize=64, history=4)
+            for seed in range(8):
+                entry, _ = q.submit(_job(seed=seed))
+                q.mark_running(await q.next())
+                q.mark_done(entry, outcome=seed)
+            assert len(q._entries) <= 5
+
+        run(scenario())

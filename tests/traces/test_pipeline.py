@@ -110,6 +110,21 @@ def test_lru_bounds_memory():
     assert store.evictions == 5
 
 
+def test_key_memo_is_bounded(monkeypatch):
+    """The spec->key memo flushes instead of growing forever (the
+    experiment daemon's workers are resident processes), and a flushed
+    memo recomputes identical keys."""
+    from repro.traces import store as store_mod
+
+    monkeypatch.setattr(store_mod, "MAX_KEY_MEMO", 4)
+    store = TraceStore(chunk_pairs=32)
+    app = APPS["mcf"]
+    specs = [app.trace_spec(base=0, seed=seed) for seed in range(10)]
+    keys = [store.key_of(spec) for spec in specs]
+    assert len(store._keys) <= 4
+    assert [store.key_of(spec) for spec in specs] == keys
+
+
 def test_key_covers_identity_and_generator_source():
     app = APPS["gcc"]
     spec = app.trace_spec(base=1 << 44, seed=3)
