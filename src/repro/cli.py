@@ -175,8 +175,16 @@ def _cmd_traces(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from repro.harness.bench import run_bench
+    import json
+    from pathlib import Path
 
+    from repro.harness.bench import compare_reports, run_bench
+
+    baseline = None
+    if args.compare is not None:
+        # Parse the baseline up front so a bad path fails before the
+        # (minutes-long) bench run, not after.
+        baseline = json.loads(Path(args.compare).read_text())
     report = run_bench(
         smoke=args.smoke,
         tag=args.tag,
@@ -188,6 +196,14 @@ def _cmd_bench(args) -> int:
         f"headline: {headline['scheme']} optimized kernel is "
         f"{headline['speedup']:.2f}x the reference"
     )
+    if baseline is not None:
+        regressions = compare_reports(report, baseline)
+        if regressions:
+            print(f"speedup regressions vs {args.compare}:")
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(f"no speedup regressions vs {args.compare}")
     return 0
 
 
@@ -423,6 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tag", default=None, help="suffix for BENCH_<tag>.json")
     p.add_argument("--rounds", type=_positive_int, default=None)
     p.add_argument("--instructions", type=_positive_int, default=None)
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="baseline BENCH_<tag>.json; exit 1 if any kernel's speedup "
+        "regresses more than 10%% below it",
+    )
 
     return parser
 

@@ -30,6 +30,7 @@ enough to leave enabled everywhere.
 from __future__ import annotations
 
 import json
+import os
 import time
 import tracemalloc
 from pathlib import Path
@@ -37,7 +38,7 @@ from pathlib import Path
 from repro import telemetry
 from repro.harness.runner import build_policy
 from repro.harness.schemes import build_cache
-from repro.partitioning.base_cache import fused_default
+from repro.partitioning.base_cache import batch_default, fused_default
 from repro.sim import CMPSystem
 from repro.sim.configs import small_system
 from repro.sim.reference import (
@@ -85,6 +86,7 @@ def _run_once(
     instructions: int,
     reference: bool,
     use_chunks: bool | None = None,
+    use_batch: bool | None = None,
 ):
     """Build a fresh system and time one simulation of the kernel.
 
@@ -108,6 +110,7 @@ def _run_once(
         config,
         policy=policy,
         use_chunks=use_chunks,
+        use_batch=use_batch,
     )
     tree = None
     if not reference:
@@ -290,6 +293,156 @@ def bench_trace_pipeline(instructions: int, rounds: int) -> dict:
     }
 
 
+def bench_batch(instructions: int, rounds: int) -> dict:
+    """The batch kernel layer's speedup on the pinned headline kernel.
+
+    Times the optimized loop with the batch scheduling kernels on
+    (``REPRO_BATCH=1``, the default) against the same loop on the
+    single-access fused path (``REPRO_BATCH=0``); both must produce
+    *equal* results.  This isolates the batch layer's contribution
+    from the reference-vs-optimized headline numbers.
+    """
+    scheme, partitioned = KERNELS[0]
+    on_best = off_best = None
+    on_result = off_result = None
+    on_calls = 0
+    for _ in range(rounds):
+        elapsed, on_result, _, _ = _run_once(
+            scheme, partitioned, instructions, False, use_batch=True
+        )
+        if on_best is None or elapsed < on_best:
+            on_best = elapsed
+        elapsed, off_result, _, _ = _run_once(
+            scheme, partitioned, instructions, False, use_batch=False
+        )
+        if off_best is None or elapsed < off_best:
+            off_best = elapsed
+    return {
+        "scheme": scheme,
+        "instructions": instructions,
+        "rounds": rounds,
+        "batch_on_s": round(on_best, 4),
+        "batch_off_s": round(off_best, 4),
+        "speedup": round(off_best / on_best, 3) if on_best else 0.0,
+        "identical": on_result == off_result,
+    }
+
+
+def _run_lane(instructions: int, numpy_on: bool):
+    """One single-core sa-LRU run on the requested batch lane.
+
+    The vectorized kernels only engage on single-core systems, so the
+    lane micro-kernel runs the pinned mix's first app alone against
+    ``lru-sa16``.  Returns ``(elapsed, result, batch_kind)``.
+    """
+    config = small_system(num_cores=1)
+    mix = make_mix(MIX_CLASS, MIX_INDEX)
+    cache = build_cache("lru-sa16", config.l2_lines, 1, seed=SEED)
+    factories = [mix.apps[0].trace_factory(base=0, seed=SEED * 1000)]
+    prev = os.environ.get("REPRO_NUMPY")
+    os.environ["REPRO_NUMPY"] = "1" if numpy_on else "0"
+    try:
+        system = CMPSystem(cache, factories, config)
+        start = time.perf_counter()
+        result = system.run(instructions)
+        elapsed = time.perf_counter() - start
+    finally:
+        if prev is None:
+            os.environ.pop("REPRO_NUMPY", None)
+        else:
+            os.environ["REPRO_NUMPY"] = prev
+    return elapsed, result, system.batch_kind
+
+
+def bench_lanes(instructions: int, rounds: int) -> dict:
+    """Pure-python vs vectorized (``REPRO_NUMPY=1``) batch lanes.
+
+    Both lanes are timed separately on the single-core sa-LRU lane
+    kernel and recorded side by side; when numpy is unavailable the
+    vectorized entry is ``None`` and only the pure-python lane runs.
+    Results must be *equal* whenever both lanes ran.
+    """
+    try:
+        import numpy  # noqa: F401
+
+        numpy_available = True
+    except ImportError:  # pragma: no cover - numpy is present in CI
+        numpy_available = False
+
+    python_best = numpy_best = None
+    python_result = numpy_result = None
+    python_kind = numpy_kind = None
+    for _ in range(rounds):
+        elapsed, python_result, python_kind = _run_lane(instructions, False)
+        if python_best is None or elapsed < python_best:
+            python_best = elapsed
+        if numpy_available:
+            elapsed, numpy_result, numpy_kind = _run_lane(instructions, True)
+            if numpy_best is None or elapsed < numpy_best:
+                numpy_best = elapsed
+    report = {
+        "scheme": "lru-sa16 (1 core)",
+        "instructions": instructions,
+        "rounds": rounds,
+        "numpy_available": numpy_available,
+        "pure_python": {
+            "elapsed_s": round(python_best, 4),
+            "batch_kind": python_kind,
+        },
+        "numpy": None,
+        "identical": True,
+    }
+    if numpy_available:
+        report["numpy"] = {
+            "elapsed_s": round(numpy_best, 4),
+            "batch_kind": numpy_kind,
+        }
+        report["identical"] = python_result == numpy_result
+    return report
+
+
+def compare_reports(
+    current: dict, baseline: dict, tolerance: float = 0.10
+) -> list[str]:
+    """Compare two bench reports; return regression descriptions.
+
+    A kernel regresses when its reference-vs-optimized speedup drops
+    more than ``tolerance`` (fractional) below the baseline report's,
+    and likewise for the batch layer's on/off speedup.  Kernels
+    present in only one report are ignored (the suite may grow), as
+    are smoke-mode baselines (their ratios are timing noise).
+    """
+    regressions: list[str] = []
+    if baseline.get("smoke"):
+        return regressions
+    base_kernels = {
+        row["scheme"]: row for row in baseline.get("kernels", [])
+    }
+    for row in current.get("kernels", []):
+        base = base_kernels.get(row["scheme"])
+        if base is None or not base.get("speedup"):
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        if row["speedup"] < floor:
+            regressions.append(
+                f"{row['scheme']}: speedup {row['speedup']:.2f}x is more "
+                f"than {tolerance:.0%} below the baseline "
+                f"{base['speedup']:.2f}x"
+            )
+    base_batch = baseline.get("batch")
+    cur_batch = current.get("batch")
+    if base_batch and cur_batch and base_batch.get("speedup"):
+        floor = base_batch["speedup"] * (1.0 - tolerance)
+        if cur_batch["speedup"] < floor:
+            regressions.append(
+                f"batch layer ({cur_batch['scheme']}): speedup "
+                f"{cur_batch['speedup']:.2f}x is more than "
+                f"{tolerance:.0%} below the baseline "
+                f"{base_batch['speedup']:.2f}x"
+            )
+    return regressions
+
+
 def bench_stats_overhead(instructions: int, rounds: int) -> dict:
     """Time the headline optimized kernel with telemetry on vs off.
 
@@ -371,12 +524,17 @@ def run_bench(
         for scheme, partitioned in KERNELS
     ]
     trace = bench_trace_pipeline(instructions, rounds)
+    batch = bench_batch(instructions, rounds)
+    lanes = bench_lanes(instructions, rounds)
     stats_overhead = bench_stats_overhead(instructions, rounds)
     budget = SMOKE_STATS_OVERHEAD_BUDGET if smoke else STATS_OVERHEAD_BUDGET
     report = {
         "tag": tag,
         "smoke": smoke,
         "fused": fused_default(),
+        "batch": batch,
+        "batch_default": batch_default(),
+        "lanes": lanes,
         "pinned": {
             "mix": f"{MIX_CLASS}{MIX_INDEX}",
             "system": "small (2MB L2, 4 cores)",
@@ -416,6 +574,26 @@ def run_bench(
         f"{store['bytes_written']} bytes written"
     )
     print(
+        f"batch layer on {batch['scheme']}: {batch['speedup']:.2f}x "
+        f"(on {batch['batch_on_s']:.3f}s / off {batch['batch_off_s']:.3f}s), "
+        f"identical={batch['identical']}"
+    )
+    numpy_lane = lanes["numpy"]
+    if numpy_lane is not None:
+        print(
+            f"lanes on {lanes['scheme']}: pure-python "
+            f"{lanes['pure_python']['elapsed_s']:.3f}s "
+            f"({lanes['pure_python']['batch_kind']}), numpy "
+            f"{numpy_lane['elapsed_s']:.3f}s ({numpy_lane['batch_kind']}), "
+            f"identical={lanes['identical']}"
+        )
+    else:
+        print(
+            f"lanes on {lanes['scheme']}: pure-python "
+            f"{lanes['pure_python']['elapsed_s']:.3f}s "
+            f"(numpy unavailable)"
+        )
+    print(
         f"stats overhead on {stats_overhead['scheme']}: "
         f"{stats_overhead['overhead']:+.2%} (min over "
         f"{len(stats_overhead['pair_overheads'])} paired runs; "
@@ -431,6 +609,14 @@ def run_bench(
     if mismatched:
         raise AssertionError(
             f"optimized and reference kernels diverge on: {', '.join(mismatched)}"
+        )
+    if not batch["identical"]:
+        raise AssertionError(
+            f"batch and single-access kernels diverge on {batch['scheme']}"
+        )
+    if not lanes["identical"]:
+        raise AssertionError(
+            f"pure-python and numpy batch lanes diverge on {lanes['scheme']}"
         )
     for row in kernels:
         if row["partitioned"] and not row["last_allocation"]:

@@ -28,6 +28,11 @@ from typing import Callable
 from repro.arrays.base import CacheArray, Candidate
 from repro.replacement.base import ReplacementPolicy
 
+try:  # The numpy lane is optional; everything else is pure python.
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _numpy = None
+
 #: ``part_of`` value for an empty slot.  Partition IDs are
 #: non-negative and Vantage's unmanaged region is -1, so -2 keeps
 #: ``owner >= 0`` as the "slot holds an owned line" test while still
@@ -61,6 +66,156 @@ def register_fused_kernel(cls: type):
         return builder
 
     return decorator
+
+
+def batch_default() -> bool:
+    """Whether the event loop should drive whole trace segments
+    through batch kernels.
+
+    Read from ``REPRO_BATCH`` at run time ("0" disables); the
+    single-access fused/object path stays available as the fallback
+    and as the oracle the batch kernels are pinned against.
+    """
+    return os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+def numpy_default() -> bool:
+    """Whether the vectorized (numpy) batch-kernel lane is requested.
+
+    Off by default: ``REPRO_NUMPY=1`` enables it for the cache
+    classes that register a vectorized builder (sa-LRU, the generic
+    set-associative baseline, way partitioning).  Requesting the lane
+    without numpy installed silently falls back to the pure-python
+    batch kernels -- both lanes are bitwise-identical by contract.
+    """
+    return os.environ.get("REPRO_NUMPY", "0") == "1" and _numpy is not None
+
+
+#: Registries of batch access-kernel builders, keyed by concrete
+#: cache class.  A builder is called as ``builder(cache, ctx)`` with a
+#: :class:`BatchContext` and returns a segment kernel (see
+#: :meth:`PartitionedCache.build_batch_kernel` for the signature), or
+#: ``None`` when the cache's array/policy combination has no batch
+#: kernel.  ``_NUMPY_KERNELS`` holds the optional vectorized variants
+#: consulted first when ``REPRO_NUMPY=1``.
+_BATCH_KERNELS: dict[type, Callable] = {}
+_NUMPY_KERNELS: dict[type, Callable] = {}
+
+
+def register_batch_kernel(cls: type):
+    """Class decorator registering a batch kernel builder for ``cls``."""
+
+    def decorator(builder: Callable):
+        _BATCH_KERNELS[cls] = builder
+        return builder
+
+    return decorator
+
+
+def register_numpy_kernel(cls: type):
+    """Class decorator registering a vectorized batch builder for ``cls``."""
+
+    def decorator(builder: Callable):
+        _NUMPY_KERNELS[cls] = builder
+        return builder
+
+    return decorator
+
+
+@dataclass
+class BatchContext:
+    """Event-loop and scheduler state a batch kernel closes over.
+
+    Built once per :meth:`CMPSystem.run` and handed to the batch
+    builders.  A batch kernel absorbs the *whole* scheduling loop --
+    core selection (two-minimum scan or heap), the chunk cursors,
+    timing, L1 filtering, policy observation, the cache access body
+    and finish bookkeeping -- so one call executes events until the
+    next boundary the event loop itself must handle (epoch/sample
+    service, a chunk refill, a non-chunked core, or completion).
+
+    All list fields are the *live* scheduler state of the running
+    ``CMPSystem.run`` invocation, shared by reference and mutated in
+    place by the kernel: the single-access fallback loop and the
+    kernel read and write the same cursors, so control can bounce
+    between them mid-run with no hand-off step.
+
+    ``sample_gets``/``observed``/``mon_accesses`` are the exploded
+    fast path of :meth:`UCPPolicy.observe` (per-partition sample
+    filters, observation counters and bound monitor accessors); they
+    are ``None`` when the policy is absent or overrides ``observe``,
+    in which case kernels fall back to the bound ``observe`` call.
+    """
+
+    hit_latency: int
+    memory: object
+    observe: Callable | None
+    sample_gets: list | None
+    observed: list | None
+    mon_accesses: list | None
+    l1s: list | None
+    collect: bool
+    l1_hits: list
+    #: True when every latency in the run is an integer (hit latency,
+    #: memory latency and the controllers' service cycles), so all
+    #: event times are integer-valued floats and vectorized time sums
+    #: are bitwise-equal to the scalar chain of additions.  The numpy
+    #: builders refuse to build without it.
+    exact_int_times: bool
+    #: -- scheduler state (shared with CMPSystem.run, mutated in place)
+    num_cores: int
+    target: int
+    bufs: list
+    positions: list
+    limits: list
+    instructions: list
+    finished_at: list
+    instructions_at_finish: list
+    times: list
+    heap: list | None
+    batched: list
+
+
+def scheduler_cells(ctx: BatchContext) -> tuple:
+    """Unpack a :class:`BatchContext` into the closure cells every
+    batch kernel's scheduling skeleton hoists (one tuple-unpack per
+    builder keeps the twenty-odd hoists uniform across kernels).
+
+    The memory model is exploded into its controller registers so the
+    kernels can inline :meth:`MemoryModel.request` (the per-request
+    ``requests``/``total_queue_cycles`` counters are hoisted and
+    flushed by each kernel to preserve the exact accumulation order).
+    """
+    memory = ctx.memory
+    l1_accesses = (
+        [l1.access for l1 in ctx.l1s] if ctx.l1s is not None else None
+    )
+    return (
+        ctx.hit_latency,
+        memory,
+        memory.num_controllers,
+        memory.latency,
+        memory.service_cycles,
+        memory._free_at,
+        ctx.observe,
+        ctx.sample_gets,
+        ctx.observed,
+        ctx.mon_accesses,
+        l1_accesses,
+        ctx.collect,
+        ctx.l1_hits,
+        ctx.num_cores,
+        ctx.target,
+        ctx.bufs,
+        ctx.positions,
+        ctx.limits,
+        ctx.instructions,
+        ctx.finished_at,
+        ctx.instructions_at_finish,
+        ctx.times,
+        ctx.heap,
+        ctx.batched,
+    )
 
 
 @dataclass
@@ -202,6 +357,61 @@ class PartitionedCache(ABC):
         """Drop the instance-level fused kernel, restoring the method."""
         self.__dict__.pop("access", None)
         self.fused = False
+
+    # ------------------------------------------------------------------
+    # Batch access kernels.
+    # ------------------------------------------------------------------
+
+    def build_batch_kernel(self, ctx: BatchContext):
+        """Build this cache's batch scheduling kernel, or ``None``.
+
+        A batch kernel runs the whole multi-core event loop -- core
+        selection, chunk cursors, timing, observation and this cache's
+        access body fused into one frame -- until a boundary only the
+        caller can handle::
+
+            kernel(next_service, unfinished)
+                -> (now, unfinished, reason, cid)
+
+        ``next_service`` is the next epoch/sample deadline and
+        ``unfinished`` the count of cores still short of their
+        instruction target; the kernel consumes scheduling events
+        (reading and updating the shared cursors in its
+        :class:`BatchContext`) and reports why it stopped: ``1`` = an
+        epoch/sample service is due at ``now`` (repartition/sample,
+        then re-enter), ``2`` = core ``cid``'s chunk is exhausted
+        (refill, then re-enter), ``4`` = core ``cid`` is not chunked
+        (run one event on the single-access path, then re-enter),
+        ``3`` = the last unfinished core crossed its target (``now``
+        is the run's final cycle count).  Before every return the
+        kernel parks the in-flight core back in the scheduler
+        (``times``/``heap``) at its current time, so re-entry resumes
+        it through the ordinary selection scan -- there is no hidden
+        resume state.  Behaviour is pinned bitwise-identical to the
+        single-access loop (``REPRO_BATCH=0``).
+
+        When ``REPRO_NUMPY=1`` and a vectorized builder is registered
+        for this class, it is consulted first; a vectorized builder
+        that declines (unsupported array/policy/L1 combination) falls
+        back to the pure-python batch builder.
+
+        Caches with measurement hooks installed decline batching:
+        hooks may read hoisted registers mid-segment.
+        """
+        if self.eviction_hook is not None:
+            return None
+        if getattr(self, "demotion_hook", None) is not None:
+            return None
+        if numpy_default():
+            builder = _NUMPY_KERNELS.get(type(self))
+            if builder is not None:
+                kernel = builder(self, ctx)
+                if kernel is not None:
+                    return kernel
+        builder = _BATCH_KERNELS.get(type(self))
+        if builder is None:
+            return None
+        return builder(self, ctx)
 
     def register_stats(self, group) -> None:
         """Register the per-partition front-end counters; subclasses

@@ -1,0 +1,481 @@
+"""Vectorized batch kernels (``REPRO_NUMPY=1``).
+
+These builders register numpy variants of the batch scheduling
+kernels for the set-associative LRU front-ends (the sa-LRU baseline,
+the generic baseline on perfect LRU, and way partitioning).  The
+kernel follows the same mega-kernel protocol as the pure-python batch
+kernels (``kernel(next_service, unfinished) -> (now, unfinished,
+reason, cid)``) but processes each compiled chunk as numpy columns:
+set indices come from a gathered H3 evaluation over the whole chunk,
+hit detection is one comparison against a tag-matrix gather, and runs
+of consecutive hits are retired with a single fancy-index timestamp
+store plus closed-form time/instruction prefix sums.  Misses (and
+hits whose set a miss has dirtied) fall back to a scalar body that
+mirrors the fused kernels bitwise.
+
+The lane is deliberately narrow and *declines* -- falling back to the
+pure-python batch kernel -- outside its envelope:
+
+- multi-core systems (``num_cores > 1``): the scheduler interleaves
+  cores every few accesses, so per-run vectorization would recompute
+  chunk-sized prefixes for runs a handful of accesses long;
+- L1 filters, observation (non-static allocation policies), or
+  non-integer latencies (exact float addition order could differ from
+  the scalar chain);
+- array/policy pairs other than set-associative + coarse/perfect LRU.
+
+Behaviour inside the envelope is pinned bitwise-identical to the
+scalar paths, which the ``REPRO_NUMPY`` parity tests enforce.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+from repro.arrays.set_assoc import SetAssociativeArray
+from repro.partitioning.base_cache import (
+    BaselineCache,
+    register_numpy_kernel,
+)
+from repro.partitioning.way_partitioning import WayPartitionedCache
+from repro.replacement.lru import TIMESTAMP_MOD, CoarseLRUPolicy, PerfectLRUPolicy
+
+_TS_MASK = TIMESTAMP_MOD - 1
+
+# Accesses per window segment: every O(window) column build, rebuild
+# and blocked-scan is bounded by this, so short runs never pay for a
+# whole compiled chunk.
+_WINDOW = 2048
+# Slab width for the first-blocked-access scan inside a span.
+_SLAB = 256
+
+#: Cross-instance pool of vectorized H3 byte tables, keyed by the
+#: hash identity ``(num_buckets, seed)`` (same reuse argument as the
+#: position/index memo pools: the tables are a pure function of the
+#: identity, so benchmark rounds share one copy).
+_H3_TABLE_POOL: dict[tuple[int, int], object] = {}
+_POOL_KEYS_MAX = 16
+
+
+def _h3_tables(h3):
+    """``(8, 256) int64`` ndarray of ``h3``'s byte tables.
+
+    ``H3Hash.__call__`` skips the high four tables for keys below
+    2**32, XOR-ing the tables' zero entries instead -- which are all
+    zero, so evaluating all eight tables unconditionally is identical.
+    """
+    key = (h3.num_buckets, h3.seed)
+    tables = _H3_TABLE_POOL.get(key)
+    if tables is None:
+        tables = _np.array(h3._tables, dtype=_np.int64)
+        if len(_H3_TABLE_POOL) < _POOL_KEYS_MAX:
+            _H3_TABLE_POOL[key] = tables
+    return tables
+
+
+def _set_index_column(array, addrs):
+    """Vectorized ``array.set_index`` over an int64 address column."""
+    if array._hash is None:
+        return addrs & array._set_mask
+    t = _h3_tables(array._hash)
+    h = (
+        t[0][addrs & 0xFF]
+        ^ t[1][(addrs >> 8) & 0xFF]
+        ^ t[2][(addrs >> 16) & 0xFF]
+        ^ t[3][(addrs >> 24) & 0xFF]
+        ^ t[4][(addrs >> 32) & 0xFF]
+        ^ t[5][(addrs >> 40) & 0xFF]
+        ^ t[6][(addrs >> 48) & 0xFF]
+        ^ t[7][(addrs >> 56) & 0xFF]
+    )
+    return h & array._hash._mask
+
+
+@register_numpy_kernel(BaselineCache)
+def build_baseline_numpy(cache: BaselineCache, ctx):
+    policy = cache.policy
+    if type(policy) not in (CoarseLRUPolicy, PerfectLRUPolicy):
+        return None
+    return _sa_lru_numpy(cache, ctx, way_owner=None)
+
+
+@register_numpy_kernel(WayPartitionedCache)
+def build_waypart_numpy(cache: WayPartitionedCache, ctx):
+    # Same gate as the fused/batch waypart kernels: coarse LRU only.
+    if type(cache.policy) is not CoarseLRUPolicy:
+        return None
+    return _sa_lru_numpy(cache, ctx, way_owner=cache._way_owner)
+
+
+def _sa_lru_numpy(cache, ctx, way_owner):
+    """Shared vectorized kernel for the SA + LRU front-ends.
+
+    ``way_owner`` is ``None`` for the baselines (victim scan over the
+    whole set) or the live way-ownership column for way partitioning
+    (victim scan over the partition's ways, read per miss so epoch
+    reallocations between kernel entries take effect immediately).
+    """
+    if _np is None:
+        return None
+    array = cache.array
+    policy = cache.policy
+    if type(array) is not SetAssociativeArray:
+        return None
+    if ctx.num_cores != 1:
+        return None
+    if ctx.l1s is not None or ctx.observe is not None:
+        return None
+    if ctx.sample_gets is not None:
+        return None
+    if not ctx.exact_int_times:
+        return None
+
+    perfect = type(policy) is PerfectLRUPolicy
+    granularity = getattr(policy, "_granularity", 1)
+
+    lookup_tags = array._tags
+    slot_of = array._slot_of
+    set_free = array._set_free
+    num_ways = array.num_ways
+    state = policy.state
+    part_of = cache.part_of
+    sizes = cache._sizes
+    st = cache.stats
+    st_acc = st.accesses
+    st_hit = st.hits
+    st_miss = st.misses
+    st_evict = st.evictions
+    walk_stats = array._collect
+
+    hit_latency = ctx.hit_latency
+    memory = ctx.memory
+    num_controllers = memory.num_controllers
+    mem_latency = memory.latency
+    service_cycles = memory.service_cycles
+    free_at = memory._free_at
+    target = ctx.target
+    bufs = ctx.bufs
+    positions = ctx.positions
+    limits = ctx.limits
+    instructions = ctx.instructions
+    finished_at = ctx.finished_at
+    instructions_at_finish = ctx.instructions_at_finish
+    times = ctx.times
+    batched = ctx.batched
+
+    searchsorted = _np.searchsorted
+    arange = _np.arange
+    cumsum = _np.cumsum
+    argmax = _np.argmax
+
+    # Zero-copy numpy views over the live tag and policy-state
+    # columns (both are ``array('q')``, which exports a writable
+    # buffer): vectorized gathers and timestamp stores operate on the
+    # same memory the scalar paths read and write, so there is no
+    # mirror to synchronize -- epoch services and the object path see
+    # every store immediately.
+    tags_np = _np.frombuffer(lookup_tags, dtype=_np.int64)
+    state_np = _np.frombuffer(state, dtype=_np.int64)
+    tags2d = tags_np.reshape(-1, num_ways)
+
+    def kernel(next_service, unfinished):
+        now = times[0]
+        if not batched[0]:
+            return now, unfinished, 4, 0
+
+        mem_requests = memory.requests
+        mem_queue = memory.total_queue_cycles
+        if perfect:
+            clock0 = policy._clock
+        else:
+            ts0 = policy.current_ts
+            acc0 = policy._accesses
+        nacc = 0  # accesses retired this entry (drives the LRU clock)
+
+        count = instructions[0]
+        fin = finished_at[0] is not None
+        pos = positions[0]
+        limit = limits[0]
+        reason = 0
+        ptr = 0
+        m = 0
+
+        while True:
+            if now >= next_service:
+                reason = 1
+                break
+            if pos >= limit:
+                reason = 2
+                break
+            if ptr >= m:
+                lst, arr = bufs[0]
+                wlimit = pos + 2 * _WINDOW
+                if wlimit > limit:
+                    wlimit = limit
+                gaps = arr[pos:wlimit:2]
+                addrs = arr[pos + 1 : wlimit : 2]
+                m = len(gaps)
+                set_idx = _set_index_column(array, addrs)
+                hit_way = tags2d[set_idx] == addrs[:, None]
+                # Hit predictions against the chunk-entry tag state.
+                # A prediction stays valid until a miss touches the
+                # access's set; ``dirty`` tracks touched sets (O(1)
+                # per miss) and dirtied accesses re-check scalar.
+                predicted_hit = hit_way.any(axis=1)
+                hit_slot = set_idx * num_ways + argmax(hit_way, axis=1)
+                dirty = _np.zeros(tags2d.shape[0], dtype=bool)
+                steps = arange(1, m + 1)
+                cg = cumsum(gaps)
+                # All-hit time prefix: each retired hit adds gap + 1
+                # (arrival) + the L2 hit latency.  A miss shifts every
+                # later time by a constant, folded into ``delta``
+                # instead of recomputing the column.
+                t_arr = int(now) + cg + steps * (1 + hit_latency)
+                count_arr = count + cg + steps
+                if perfect:
+                    stamps = clock0 + nacc + steps
+                else:
+                    stamps = (ts0 + (acc0 + nacc + arange(m)) // granularity) & _TS_MASK
+                ptr = 0
+                delta = 0
+                scalar_run = 0
+                dirty_hits = 0
+                rebuild_at = 32
+
+            if predicted_hit[ptr] and not dirty[set_idx[ptr]]:
+                # Vectorized span of clean predicted hits, bounded by
+                # the first blocked access (predicted miss or dirtied
+                # set), the service deadline (a *pre*-access check
+                # against the previous access's time, hence the +1)
+                # and the instruction target.
+                n_proc = (
+                    int(searchsorted(t_arr[ptr:], next_service - delta, "left"))
+                    + ptr
+                    + 1
+                )
+                if n_proc > m:
+                    n_proc = m
+                j_fin = m
+                if not fin:
+                    j_fin = int(searchsorted(count_arr[ptr:], target, "left")) + ptr
+                    if unfinished == 1 and j_fin + 1 < n_proc:
+                        n_proc = j_fin + 1
+                # First blocked access in [ptr, n_proc), scanned in
+                # bounded slabs so a short span never gathers the
+                # whole remaining window.
+                j = ptr
+                while j < n_proc:
+                    e = j + _SLAB
+                    if e > n_proc:
+                        e = n_proc
+                    b = ~predicted_hit[j:e] | dirty[set_idx[j:e]]
+                    bad = int(argmax(b))
+                    if b[bad]:
+                        n_proc = j + bad
+                        break
+                    j = e
+
+                state_np[hit_slot[ptr:n_proc]] = stamps[ptr:n_proc]
+                k = n_proc - ptr
+                st_acc[0] += k
+                st_hit[0] += k
+                nacc += k
+                count = int(count_arr[n_proc - 1])
+                prev_now = now
+                if n_proc - 1 > ptr:
+                    prev_now = float(t_arr[n_proc - 2] + delta)
+                now = float(t_arr[n_proc - 1] + delta)
+                if not fin and j_fin < n_proc:
+                    fin = True
+                    finished_at[0] = now if j_fin == n_proc - 1 else float(
+                        t_arr[j_fin] + delta
+                    )
+                    instructions_at_finish[0] = int(count_arr[j_fin])
+                    unfinished -= 1
+                    if not unfinished:
+                        # Protocol: park at the finishing access's
+                        # time, report the pre-access ``now``.
+                        times[0] = now
+                        now = prev_now if j_fin == n_proc - 1 else now
+                        reason = 3
+                        break
+                ptr = n_proc
+                pos += 2 * k
+                scalar_run = 0
+                if k >= 8:
+                    rebuild_at = 32
+                continue
+
+            # Scalar access: a predicted miss, or a hit in a dirtied
+            # set re-checked against the live tags.  Mirrors the fused
+            # sa-LRU / waypart access bodies bitwise.
+            if predicted_hit[ptr]:
+                # Blocked only by a dirtied set; enough of these means
+                # the dirty map is polluting spans -- worth a refresh.
+                dirty_hits += 1
+            gap = int(gaps[ptr])
+            addr = int(addrs[ptr])
+            si = int(set_idx[ptr])
+            base = si * num_ways
+            t = now + gap + 1
+            count += gap + 1
+            row = tags_np[base : base + num_ways].tolist()
+            try:
+                way = row.index(addr)
+            except ValueError:
+                way = -1
+            if perfect:
+                clock = clock0 + nacc + 1
+                cur = clock
+            else:
+                cur = (ts0 + (acc0 + nacc) // granularity) & _TS_MASK
+            nacc += 1
+            st_acc[0] += 1
+            if way >= 0:
+                slot = base + way
+                state_np[slot] = cur
+                st_hit[0] += 1
+                t += hit_latency
+            else:
+                st_miss[0] += 1
+                srow = state_np[base : base + num_ways].tolist()
+                slot = -1
+                if way_owner is None:
+                    if set_free[si]:
+                        scanned = 0
+                        for w in range(num_ways):
+                            scanned += 1
+                            if row[w] < 0:
+                                slot = base + w
+                                break
+                        if walk_stats:
+                            array.stat_walks += 1
+                            array.stat_candidates += scanned
+                        set_free[si] -= 1
+                    else:
+                        if walk_stats:
+                            array.stat_walks += 1
+                            array.stat_candidates += num_ways
+                        if perfect:
+                            # PerfectLRUPolicy.select_victim_index:
+                            # lowest clock, first of equals.
+                            best = 0
+                            best_key = srow[0]
+                            for w in range(1, num_ways):
+                                key = srow[w]
+                                if key < best_key:
+                                    best_key = key
+                                    best = w
+                        else:
+                            # CoarseLRUPolicy: oldest modulo-256
+                            # timestamp, first of equals.
+                            best = 0
+                            best_key = (cur - srow[0]) & _TS_MASK
+                            for w in range(1, num_ways):
+                                key = (cur - srow[w]) & _TS_MASK
+                                if key > best_key:
+                                    best_key = key
+                                    best = w
+                        slot = base + best
+                        owner = part_of[slot]
+                        if owner >= 0:
+                            st_evict[owner] += 1
+                            sizes[owner] -= 1
+                        del slot_of[row[best]]
+                else:
+                    # Way-partitioned: one pass over this partition's
+                    # ways -- first empty one, else oldest (first of
+                    # equals), exactly as the fused waypart kernel.
+                    victim = -1
+                    best_key = -1
+                    empty = -1
+                    for w in range(num_ways):
+                        if way_owner[w] != 0:
+                            continue
+                        if row[w] < 0:
+                            empty = base + w
+                            break
+                        key = (cur - srow[w]) & _TS_MASK
+                        if key > best_key:
+                            best_key = key
+                            victim = base + w
+                    if empty >= 0:
+                        slot = empty
+                        set_free[si] -= 1
+                    else:
+                        slot = victim
+                        owner = part_of[slot]
+                        if owner >= 0:
+                            st_evict[owner] += 1
+                            sizes[owner] -= 1
+                        del slot_of[row[slot - base]]
+                lookup_tags[slot] = addr
+                slot_of[addr] = slot
+                if walk_stats:
+                    array.stat_installs += 1
+                part_of[slot] = 0
+                sizes[0] += 1
+                state_np[slot] = cur
+                # This set's precomputed hit predictions are stale
+                # from here on; re-check them scalar.
+                dirty[si] = True
+                # Inlined MemoryModel.request.
+                ctrl = addr % num_controllers
+                f = free_at[ctrl]
+                start = f if f > t else t
+                free_at[ctrl] = start + service_cycles
+                queue = start - t
+                mem_queue += queue
+                mem_requests += 1
+                t += hit_latency + (int(queue) + mem_latency)
+            if not fin and count >= target:
+                fin = True
+                finished_at[0] = float(t)
+                instructions_at_finish[0] = count
+                unfinished -= 1
+                if not unfinished:
+                    times[0] = float(t)
+                    reason = 3
+                    break
+            delta = int(t) - int(t_arr[ptr])
+            now = float(t)
+            ptr += 1
+            pos += 2
+            scalar_run += 1
+            if (
+                scalar_run >= rebuild_at or dirty_hits >= 64
+            ) and m - ptr >= 64:
+                # Re-vectorize: refresh the hit predictions against
+                # the live tags and clear the dirty map.  Backs off
+                # exponentially when the refreshed window is still
+                # blocked at the cursor (miss-heavy stretches), so a
+                # pure-scan phase degrades to the scalar burst loop
+                # instead of paying O(window) per rebuild.
+                hw = tags2d[set_idx[ptr:]] == addrs[ptr:, None]
+                predicted_hit[ptr:] = hw.any(axis=1)
+                hit_slot[ptr:] = set_idx[ptr:] * num_ways + argmax(hw, axis=1)
+                dirty[:] = False
+                rebuild_at = 32 if predicted_hit[ptr] else rebuild_at * 2
+                scalar_run = 0
+                dirty_hits = 0
+
+        positions[0] = pos
+        instructions[0] = count
+        if reason != 3:
+            times[0] = now
+        if perfect:
+            policy._clock = clock0 + nacc
+        else:
+            total = acc0 + nacc
+            policy.current_ts = (ts0 + total // granularity) & _TS_MASK
+            policy._accesses = total % granularity
+        memory.requests = mem_requests
+        memory.total_queue_cycles = mem_queue
+        return now, unfinished, reason, 0
+
+    kernel.chunk_arrays = True
+    kernel.vectorized = True
+    return kernel

@@ -26,10 +26,12 @@ from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.analysis.stats import SizeTimeSeries
+from repro.partitioning.base_cache import BatchContext, batch_default
 from repro.sim.configs import SystemConfig
 from repro.sim.l1 import L1Cache
 from repro.sim.memory import MemoryModel
 from repro.traces import TraceSpec, get_store
+from repro.traces.chunks import chunk_array_view
 
 
 @dataclass
@@ -101,6 +103,7 @@ class CMPSystem:
         size_series: SizeTimeSeries | None = None,
         size_sample_cycles: int | None = None,
         use_chunks: bool | None = None,
+        use_batch: bool | None = None,
     ):
         self.cache = cache
         self.trace_factories = list(traces)
@@ -136,6 +139,17 @@ class CMPSystem:
         if use_chunks is None:
             use_chunks = os.environ.get("REPRO_TRACE_CHUNKS", "1") != "0"
         self._use_chunks = use_chunks
+        if use_batch is None:
+            use_batch = batch_default()
+        # Batching layers on top of the fused kernels: with
+        # ``REPRO_FUSED=0`` the object path stays the oracle, so the
+        # batch layer switches off with it (and with caches that have
+        # no fused kernel installed).
+        self._use_batch = use_batch and bool(getattr(cache, "fused", False))
+        self.batch_calls = 0
+        #: which batch lane the last run used: "numpy" (vectorized),
+        #: "python" (pure-python mega kernel) or None (no batching).
+        self.batch_kind: str | None = None
         self._final_times = [0.0] * config.num_cores
         self._instruction_counts = [0] * config.num_cores
         self.l1_hits = [0] * config.num_cores
@@ -199,6 +213,78 @@ class CMPSystem:
             lambda: self.samples,
             "partition-size time-series samples taken",
         )
+
+    def _build_batch_kernel(
+        self,
+        target: int,
+        bufs: list,
+        positions: list,
+        limits: list,
+        instructions: list,
+        finished_at: list,
+        instructions_at_finish: list,
+        times: list,
+        heap: list | None,
+        batched: list,
+    ):
+        """Build the cache's whole-loop batch kernel, or ``None`` when
+        the cache class has none registered (or declines, e.g. because
+        an eviction hook is installed).
+
+        The :class:`BatchContext` hands the kernels everything the
+        event loop touches: the access-body collaborators plus the
+        *live* scheduler state of this ``run`` invocation (cursors,
+        instruction counters, core times), shared by reference.  When
+        the policy is a stock :class:`~repro.allocation.ucp.UCPPolicy`,
+        its ``observe`` is exploded into the per-partition sample
+        filters and monitor methods so the kernels can inline the
+        sampled-set early exit (the overwhelmingly common case)
+        without a bound call.
+        """
+        from repro.allocation.static import EqualSharePolicy, StaticPolicy
+        from repro.allocation.ucp import UCPPolicy
+
+        policy = self.policy
+        observe = policy.observe if policy is not None else None
+        sample_gets = observed = mon_accesses = None
+        if observe is not None and type(policy).observe in (
+            StaticPolicy.observe,
+            EqualSharePolicy.observe,
+        ):
+            # Static allocators observe nothing; dropping the no-op
+            # call keeps the kernels' per-access path tight and lets
+            # the vectorized lane accept these configurations.
+            observe = None
+        if isinstance(policy, UCPPolicy) and type(policy).observe is UCPPolicy.observe:
+            sample_gets = policy._sample_gets
+            observed = policy.observed
+            mon_accesses = [m.access for m in policy.monitors]
+            observe = None
+        memory = self.memory
+        ctx = BatchContext(
+            hit_latency=self.config.l2_hit_latency,
+            memory=memory,
+            observe=observe,
+            sample_gets=sample_gets,
+            observed=observed,
+            mon_accesses=mon_accesses,
+            l1s=self.l1s,
+            collect=self._collect,
+            l1_hits=self.l1_hits,
+            exact_int_times=float(memory.service_cycles).is_integer(),
+            num_cores=self.config.num_cores,
+            target=target,
+            bufs=bufs,
+            positions=positions,
+            limits=limits,
+            instructions=instructions,
+            finished_at=finished_at,
+            instructions_at_finish=instructions_at_finish,
+            times=times,
+            heap=heap,
+            batched=batched,
+        )
+        return self.cache.build_batch_kernel(ctx)
 
     def _restart_trace(self, cid: int, iterators: list, nexts: list):
         """Restart core ``cid``'s finite trace and return its first
@@ -265,14 +351,76 @@ class CMPSystem:
         next_chunk = [0] * num_cores
         trace_chunks = self.trace_chunks
 
-        def _refill(cid: int) -> list:
+        instructions = [0] * num_cores
+        instructions_at_finish = [0] * num_cores
+        finished_at: list[float | None] = [None] * num_cores
+        unfinished = num_cores
+
+        times = [0.0] * num_cores
+        use_heap = num_cores > 8
+        heap: list[tuple[float, int]] | None = None
+        if use_heap:
+            heap = [(0.0, cid) for cid in range(num_cores)]
+            heapq.heapify(heap)
+            heappush = heapq.heappush
+            heappop = heapq.heappop
+
+        # ``batched`` is filled in only after a kernel builds, so the
+        # kernels themselves can rely on it: a False entry sends the
+        # core to the single-access path (reason 4).
+        batched = [False] * num_cores
+        batch_kernel = None
+        if self._use_batch and any(chunked):
+            batch_kernel = self._build_batch_kernel(
+                instructions_per_core,
+                bufs,
+                positions,
+                limits,
+                instructions,
+                finished_at,
+                instructions_at_finish,
+                times,
+                heap,
+                batched,
+            )
+        if batch_kernel is not None:
+            for cid in range(num_cores):
+                batched[cid] = chunked[cid]
+        self.batch_kind = (
+            None
+            if batch_kernel is None
+            else ("numpy" if getattr(batch_kernel, "vectorized", False) else "python")
+        )
+        # Vectorized kernels additionally read chunks as int64 ndarray
+        # views; their buffers are (list, ndarray) pairs.
+        need_arrays = batch_kernel is not None and getattr(
+            batch_kernel, "chunk_arrays", False
+        )
+
+        def _refill(cid: int):
             # One store lookup (LRU / disk / compile) per chunk keeps
-            # trace production out of the hot loop entirely.
-            buf = store.chunk_list(trace_factories[cid], next_chunk[cid])
+            # trace production out of the hot loop entirely.  A stream
+            # that ends (or is empty) surfaces as the same core-naming
+            # ValueError the generator cursor raises -- never a raw
+            # StopIteration or an anonymous compile error.
+            factory = trace_factories[cid]
+            index = next_chunk[cid]
+            try:
+                buf = store.chunk_list(factory, index)
+            except StopIteration:
+                raise ValueError(
+                    f"trace for core {cid} is empty: its factory produced "
+                    f"an iterator with no (gap, addr) items"
+                ) from None
+            except ValueError as exc:
+                raise ValueError(f"trace for core {cid}: {exc}") from None
+            limit = len(buf)
+            if need_arrays:
+                buf = (buf, chunk_array_view(store.get_chunk(factory, index)))
             next_chunk[cid] += 1
             trace_chunks[cid] += 1
             bufs[cid] = buf
-            limits[cid] = len(buf)
+            limits[cid] = limit
             positions[cid] = 0
             return buf
 
@@ -283,11 +431,6 @@ class CMPSystem:
                 it = factory()
                 iterators[cid] = it
                 nexts[cid] = it.__next__
-
-        instructions = [0] * num_cores
-        instructions_at_finish = [0] * num_cores
-        finished_at: list[float | None] = [None] * num_cores
-        unfinished = num_cores
 
         inf = float("inf")
         next_epoch = float(epoch_cycles) if policy is not None else inf
@@ -302,17 +445,42 @@ class CMPSystem:
         collect = self._collect
         l1_hits = self.l1_hits
 
-        times = [0.0] * num_cores
-        use_heap = num_cores > 8
-        if use_heap:
-            heap: list[tuple[float, int]] = [
-                (0.0, cid) for cid in range(num_cores)
-            ]
-            heapq.heapify(heap)
-            heappush = heapq.heappush
-            heappop = heapq.heappop
-
         while unfinished:
+            if batch_kernel is not None:
+                # Whole-loop dispatch: one kernel call runs scheduling
+                # events until a boundary only this loop can handle.
+                self.batch_calls += 1
+                now, unfinished, reason, cid = batch_kernel(
+                    next_service, unfinished
+                )
+                if reason == 1:
+                    # Epoch/sample service due at ``now``; the kernel
+                    # parked the in-flight core, so re-entry resumes it
+                    # through the ordinary selection scan.
+                    if now >= next_epoch:
+                        self._repartition()
+                        while now >= next_epoch:
+                            next_epoch += epoch_cycles
+                    if now >= next_sample:
+                        self.samples += 1
+                        self.size_series.sample(
+                            int(now), self._target_lines(), cache.partition_sizes()
+                        )
+                        while now >= next_sample:
+                            next_sample += sample_period
+                    next_service = (
+                        next_epoch if next_epoch < next_sample else next_sample
+                    )
+                    continue
+                if reason == 2:
+                    _refill(cid)
+                    continue
+                if reason == 3:
+                    break
+                # reason 4: core ``cid`` is not chunked -- fall through
+                # and run one event on the single-access path (the scan
+                # below re-selects it).
+
             if use_heap:
                 now, cid = heappop(heap)
                 second = scid = None

@@ -39,3 +39,18 @@ def compile_chunk(iterator, chunk_pairs: int) -> array:
 def chunk_nbytes(chunk_pairs: int) -> int:
     """On-disk / in-memory size of one chunk in bytes."""
     return 2 * chunk_pairs * array("q").itemsize
+
+
+def chunk_array_view(chunk: array):
+    """Zero-copy ``int64`` ndarray view of a compiled chunk.
+
+    The vectorized batch kernels (``REPRO_NUMPY=1``) slice gap/addr
+    columns out of this view; the list form stays the scalar cursor
+    format.  Returns ``None`` when numpy is unavailable (callers fall
+    back to the scalar kernels).
+    """
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is present in CI
+        return None
+    return numpy.frombuffer(chunk, dtype=numpy.int64)

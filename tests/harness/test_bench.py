@@ -12,6 +12,7 @@ from repro.harness.bench import (
     SMOKE_INSTRUCTIONS,
     _run_once,
     bench_kernel,
+    compare_reports,
 )
 
 
@@ -56,3 +57,61 @@ class TestBenchKernelReport:
         assert row["identical"] is True
         assert row["partitioned"] is False
         assert row["last_allocation"] is None
+
+
+def _report(**overrides):
+    """A minimal bench report with healthy speedups."""
+    report = {
+        "smoke": False,
+        "kernels": [
+            {"scheme": "vantage-z4/52", "speedup": 9.0},
+            {"scheme": "lru-sa16", "speedup": 12.0},
+        ],
+        "batch": {"scheme": "vantage-z4/52", "speedup": 2.0},
+    }
+    report.update(overrides)
+    return report
+
+
+class TestCompareReports:
+    def test_no_regressions_when_equal(self):
+        assert compare_reports(_report(), _report()) == []
+
+    def test_within_tolerance_passes(self):
+        current = _report(
+            kernels=[{"scheme": "vantage-z4/52", "speedup": 8.2}]
+        )
+        # 8.2 > 9.0 * 0.9 -- inside the 10% band.
+        assert compare_reports(current, _report()) == []
+
+    def test_kernel_regression_detected(self):
+        current = _report(
+            kernels=[{"scheme": "vantage-z4/52", "speedup": 7.0}]
+        )
+        regressions = compare_reports(current, _report())
+        assert len(regressions) == 1
+        assert "vantage-z4/52" in regressions[0]
+
+    def test_batch_layer_regression_detected(self):
+        current = _report(batch={"scheme": "vantage-z4/52", "speedup": 1.0})
+        regressions = compare_reports(current, _report())
+        assert len(regressions) == 1
+        assert "batch layer" in regressions[0]
+
+    def test_smoke_baseline_is_skipped(self):
+        current = _report(
+            kernels=[{"scheme": "vantage-z4/52", "speedup": 0.1}]
+        )
+        assert compare_reports(current, _report(smoke=True)) == []
+
+    def test_unknown_kernels_are_ignored(self):
+        current = _report(
+            kernels=[{"scheme": "brand-new-scheme", "speedup": 0.1}]
+        )
+        assert compare_reports(current, _report()) == []
+
+    def test_tolerance_is_configurable(self):
+        current = _report(
+            kernels=[{"scheme": "vantage-z4/52", "speedup": 8.2}]
+        )
+        assert compare_reports(current, _report(), tolerance=0.05)

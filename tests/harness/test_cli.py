@@ -78,6 +78,66 @@ class TestCommands:
         assert {"cache", "array", "sim", "policy"} <= set(stats)
         assert sum(stats["cache"]["accesses"]) > 0
 
+
+class TestBenchCompare:
+    """``repro bench --compare`` gates on speedup regressions.
+
+    ``run_bench`` is stubbed: these tests pin the exit-code contract
+    and the fail-fast baseline parse, not the timing harness itself
+    (which ``test_bench.py`` covers)."""
+
+    REPORT = {
+        "smoke": False,
+        "kernels": [{"scheme": "vantage-z4/52", "speedup": 9.0}],
+        "batch": {"scheme": "vantage-z4/52", "speedup": 2.0},
+    }
+
+    def _stub_bench(self, monkeypatch):
+        import repro.harness.bench as bench
+
+        monkeypatch.setattr(bench, "run_bench", lambda **kw: dict(self.REPORT))
+
+    def _baseline(self, tmp_path, speedup):
+        import json
+
+        path = tmp_path / "BENCH_base.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "smoke": False,
+                    "kernels": [
+                        {"scheme": "vantage-z4/52", "speedup": speedup}
+                    ],
+                    "batch": {"scheme": "vantage-z4/52", "speedup": 2.0},
+                }
+            )
+        )
+        return str(path)
+
+    def test_regression_exits_nonzero(self, capsys, monkeypatch, tmp_path):
+        self._stub_bench(monkeypatch)
+        baseline = self._baseline(tmp_path, speedup=20.0)
+        assert main(["bench", "--smoke", "--compare", baseline]) == 1
+        assert "speedup regressions" in capsys.readouterr().out
+
+    def test_no_regression_exits_zero(self, capsys, monkeypatch, tmp_path):
+        self._stub_bench(monkeypatch)
+        baseline = self._baseline(tmp_path, speedup=9.0)
+        assert main(["bench", "--smoke", "--compare", baseline]) == 0
+        assert "no speedup regressions" in capsys.readouterr().out
+
+    def test_bad_baseline_fails_before_bench_runs(self, monkeypatch, tmp_path):
+        import pytest as _pytest
+
+        import repro.harness.bench as bench
+
+        def _boom(**kw):
+            raise AssertionError("bench must not run when the baseline is unreadable")
+
+        monkeypatch.setattr(bench, "run_bench", _boom)
+        with _pytest.raises(FileNotFoundError):
+            main(["bench", "--compare", str(tmp_path / "missing.json")])
+
     def test_schemes_table(self, capsys):
         assert main(["schemes"]) == 0
         out = capsys.readouterr().out

@@ -179,3 +179,46 @@ class TestValidation:
         )
         with pytest.raises(ValueError, match="core 0"):
             reference_run(system, 1_000)
+
+    def test_exhausted_trace_mid_segment_on_batch_path(self, monkeypatch):
+        """A chunked trace that ends mid-run surfaces through the batch
+        kernel's refill return (reason 2) as the same core-naming
+        ValueError the generator cursor raises -- never a bare
+        StopIteration or an anonymous compile error."""
+        from repro.traces import TraceSpec
+        from repro.traces.store import reset_store
+
+        class FiniteSpec(TraceSpec):
+            """Stream ends after exactly one 64-pair chunk, so the
+            first refill succeeds and the second -- requested from
+            inside a batched segment -- hits the exhausted stream."""
+
+            def generator(self):
+                return ((0, i & 7) for i in range(64))
+
+        monkeypatch.setenv("REPRO_TRACE_CHUNK_PAIRS", "64")
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        monkeypatch.delenv("REPRO_TRACE_CHUNKS", raising=False)
+        reset_store()
+        try:
+            config = tiny_config(cores=2)
+            cache = build_baseline(config)
+            peer = TraceSpec(
+                name="finite-test-peer", kind="scan", params=(8, 1),
+                base=0, seed=1,
+            )
+            finite = FiniteSpec(
+                name="finite-test", kind="scan", params=(8, 1),
+                base=1 << 20, seed=424243,
+            )
+            system = CMPSystem(cache, [peer, finite], config)
+            with pytest.raises(ValueError, match="core 1"):
+                system.run(100_000)
+            # The failure must have come out of the batch path, not a
+            # silent fallback to the generator cursor.
+            assert system.batch_kind == "python"
+            assert system.batch_calls > 0
+        finally:
+            monkeypatch.undo()
+            reset_store()
