@@ -1,0 +1,111 @@
+"""Figure 12 (extension): shared-footprint sensitivity.
+
+The paper evaluates multiprogrammed mixes only; this extension sweeps
+a *multi-threaded* axis the partitioning schemes never see in Figures
+6-11: the fraction of each core's accesses that land in a shared
+region overlapping every core.  For each shared fraction the sweep
+reports aggregate throughput (normalised to unpartitioned LRU on the
+same mix) and the min/max-slowdown fairness metric, per scheme --
+including ``reuse-aware``, which migrates shared lines to their
+requester and feeds split private/shared utility curves into UCP.
+
+Expected shape: at low fractions the schemes track their Figure 6
+behaviour; as sharing grows, strict owner-charged partitioning
+(way-partitioning especially) misattributes shared capacity while the
+reuse-aware scheme should hold throughput at least as well as plain
+Vantage.
+"""
+
+from conftest import scaled_instructions, scaled_small_system
+
+from repro.analysis import fairness
+from repro.harness import SimJob, run_jobs, save_results
+from repro.workloads import SharedRegionSpec, make_shared_mix
+
+SCHEMES = [
+    "vantage-z4/52",
+    "waypart-sa16",
+    "pipp-sa16",
+    "reuse-aware-z4/52",
+]
+BASELINE = "lru-sa16"
+FRACTIONS = (0.05, 0.15, 0.3, 0.5)
+SHARED_LINES = 2_048
+MIX_CLASS = "sftn"
+MIX_INDEX = 1
+KIND = "producer-consumer"
+
+
+def test_fig12_shared_footprint_sweep(run_once):
+    config = scaled_small_system()
+    instructions = scaled_instructions()
+    mixes = [
+        make_shared_mix(
+            MIX_CLASS,
+            MIX_INDEX,
+            SharedRegionSpec(kind=KIND, lines=SHARED_LINES, fraction=f),
+        )
+        for f in FRACTIONS
+    ]
+    columns = [BASELINE] + SCHEMES
+
+    def experiment():
+        # All (fraction, scheme) pairs -- baseline included -- as one
+        # parallel batch through the cached harness.
+        jobs = [
+            SimJob(mix, scheme, config, instructions)
+            for mix in mixes
+            for scheme in columns
+        ]
+        outcomes = run_jobs(jobs)
+        width = len(columns)
+        series = {
+            scheme: {"throughput": [], "fairness": []} for scheme in SCHEMES
+        }
+        for m in range(len(mixes)):
+            row = outcomes[m * width : (m + 1) * width]
+            base = row[0].result
+            base_ipcs = [core.ipc for core in base.cores]
+            for scheme, outcome in zip(SCHEMES, row[1:]):
+                result = outcome.result
+                series[scheme]["throughput"].append(
+                    result.throughput / base.throughput
+                )
+                series[scheme]["fairness"].append(
+                    fairness([core.ipc for core in result.cores], base_ipcs)
+                )
+        return series
+
+    series = run_once(experiment)
+
+    print()
+    print(
+        f"Figure 12: {KIND} sharing on {MIX_CLASS}{MIX_INDEX}, "
+        f"{SHARED_LINES}-line region, vs {BASELINE} "
+        f"({instructions} instrs/app)"
+    )
+    header = f"{'scheme':>18s} " + " ".join(f"{f:>12.2f}" for f in FRACTIONS)
+    for metric in ("throughput", "fairness"):
+        print(f"-- {metric} --")
+        print(header)
+        for scheme in SCHEMES:
+            cells = " ".join(f"{v:>12.3f}" for v in series[scheme][metric])
+            print(f"{scheme:>18s} {cells}")
+    save_results(
+        "fig12",
+        {
+            "fractions": list(FRACTIONS),
+            "kind": KIND,
+            "shared_lines": SHARED_LINES,
+            "baseline": BASELINE,
+            "series": series,
+        },
+    )
+
+    for scheme in SCHEMES:
+        for metric in ("throughput", "fairness"):
+            values = series[scheme][metric]
+            assert len(values) == len(FRACTIONS)
+            assert all(v > 0 for v in values)
+        # Fairness is a min/max slowdown ratio, bounded by 1.
+        assert all(v <= 1.0 + 1e-9 for v in series[scheme]["fairness"])

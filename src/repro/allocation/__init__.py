@@ -1,13 +1,19 @@
 """Allocation policies: decide partition sizes (schemes enforce them)."""
 
 from repro.allocation.static import EqualSharePolicy, StaticPolicy
-from repro.allocation.ucp import UCPPolicy, lookahead_allocate
-from repro.allocation.umon import UMonitor, interpolate_curve
+from repro.allocation.ucp import (
+    ReuseAwareUCPPolicy,
+    UCPPolicy,
+    lookahead_allocate,
+)
+from repro.allocation.umon import ReuseUMonitor, UMonitor, interpolate_curve
 from repro.allocation.umon_rrip import RRIPMonitor
 
 __all__ = [
     "EqualSharePolicy",
     "RRIPMonitor",
+    "ReuseAwareUCPPolicy",
+    "ReuseUMonitor",
     "StaticPolicy",
     "UCPPolicy",
     "UMonitor",

@@ -176,3 +176,122 @@ class UCPPolicy:
         monitors = group.group("monitors", "per-partition utility monitors")
         for i, mon in enumerate(self.monitors):
             mon.register_stats(monitors.group(f"part_{i}"))
+
+
+class ReuseAwareUCPPolicy(UCPPolicy):
+    """UCP over private/shared split curves (shared-address mixes).
+
+    Sampled accesses are classified by comparing the requesting
+    partition against the address's *first-touch* partition: an access
+    to a line another partition touched first is shared reuse.  Each
+    :class:`~repro.allocation.umon.ReuseUMonitor` tracks its shared
+    subset, and Lookahead runs over the per-partition private curves
+    plus one pooled shared pseudo-curve; the pseudo-partition's units
+    are then folded back proportionally to each partition's shared
+    observation volume, so capacity that serves shared lines is paid
+    for by the partitions that reuse them instead of inflating one
+    owner's private budget.
+
+    All monitors must share one set-index hash seed: the first-touch
+    table only sees sampled addresses, and with per-partition hash
+    seeds each partition would sample (and classify) a different
+    address subset.  Overriding ``observe`` also opts out of the batch
+    kernels' exploded sample fast path automatically -- the kernels
+    call this bound method, so the classification order is identical
+    on every execution path.
+    """
+
+    #: First-touch table bound; at the cap the table is cleared
+    #: wholesale (like the UMON hash memo, keeping behaviour a pure
+    #: function of the access sequence).
+    FIRST_TOUCH_CAP = 1 << 16
+
+    def __init__(
+        self,
+        monitors,
+        total_units: int,
+        min_units: int = 1,
+        granularity: int | None = None,
+    ):
+        super().__init__(monitors, total_units, min_units, granularity)
+        seeds = {m._hash.seed for m in self.monitors}
+        if len(seeds) > 1:
+            raise ValueError(
+                "reuse-aware UCP requires all monitors to share one "
+                "set-index hash seed (their sampled sets must coincide)"
+            )
+        self._first_touch: dict[int, int] = {}
+        self.shared_observed = [0] * len(self.monitors)
+
+    def observe(self, part: int, addr: int) -> None:
+        if self._sample_gets[part](addr, -1) is None:
+            return
+        self.observed[part] += 1
+        ft = self._first_touch
+        if len(ft) >= self.FIRST_TOUCH_CAP:
+            ft.clear()
+        owner = ft.setdefault(addr, part)
+        shared = owner != part
+        if shared:
+            self.shared_observed[part] += 1
+        self.monitors[part].access(addr, shared=shared)
+
+    def allocate(self) -> list[int]:
+        from repro.allocation.umon import interpolate_curve
+
+        privates = []
+        shareds = []
+        for mon in self.monitors:
+            private = mon.private_curve()
+            shared = mon.shared_curve()
+            if self.granularity is not None:
+                private = interpolate_curve(private, self.granularity)
+                shared = interpolate_curve(shared, self.granularity)
+            privates.append(private)
+            shareds.append(shared)
+        pooled = [sum(points) for points in zip(*shareds)]
+        total = (
+            self.granularity if self.granularity is not None else self.total_units
+        )
+        units = lookahead_allocate(privates + [pooled], total, self.min_units)
+        shared_units = units.pop()
+        # Fold the shared pseudo-partition's units back onto the real
+        # partitions in proportion to their shared observation volume
+        # (largest remainder; index order breaks ties deterministically).
+        if shared_units:
+            weights = [m.shared_accesses for m in self.monitors]
+            wsum = sum(weights)
+            if wsum:
+                quotas = [shared_units * w / wsum for w in weights]
+                grants = [int(q) for q in quotas]
+                leftover = shared_units - sum(grants)
+                order = sorted(
+                    range(len(grants)),
+                    key=lambda i: (grants[i] - quotas[i], i),
+                )
+                for i in order[:leftover]:
+                    grants[i] += 1
+                units = [u + g for u, g in zip(units, grants)]
+            else:
+                for i in range(shared_units):
+                    units[i % len(units)] += 1
+        if self.granularity is not None:
+            scale = self.total_units / self.granularity
+            units = [int(u * scale) for u in units]
+        for mon in self.monitors:
+            mon.epoch_reset()
+        self.last_allocation = list(units)
+        return units
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        group.stat(
+            "shared_observed",
+            lambda: list(self.shared_observed),
+            "per-partition sampled accesses classified as shared reuse",
+        )
+        group.stat(
+            "first_touch_entries",
+            lambda: len(self._first_touch),
+            "addresses currently classified in the first-touch table",
+        )

@@ -150,6 +150,99 @@ class UMonitor(SampledMonitor):
         )
 
 
+class ReuseUMonitor(UMonitor):
+    """UMON that splits its utility curve into private and shared reuse.
+
+    On shared-address mixes part of a core's hits come from lines other
+    cores keep warm; allocating that core private capacity for them is
+    wasted.  The caller classifies each sampled access (first-touch
+    core vs requester, see ``ReuseAwareUCPPolicy.observe``) and the
+    monitor tracks the shared subset alongside the parent totals:
+    ``shared_curve()`` is the miss curve of the shared accesses alone
+    and ``private_curve()`` the pointwise remainder, so Lookahead can
+    weigh private capacity against one pooled shared budget.
+    """
+
+    def __init__(
+        self,
+        num_ways: int,
+        model_sets: int,
+        sampled_sets: int = 64,
+        seed: int = 0,
+    ):
+        super().__init__(num_ways, model_sets, sampled_sets, seed)
+        self.shared_accesses = 0
+        self.shared_hits = [0] * num_ways
+
+    def access(self, addr: int, shared: bool = False) -> None:
+        set_index = self._sample_cache.get(addr, -1)
+        if set_index == -1:
+            memo = self._hash_memo
+            set_index = memo.get(addr, -1)
+            if set_index == -1:
+                if len(memo) >= _HASH_MEMO_CAP:
+                    memo.clear()
+                set_index = self._hash(addr)
+                memo[addr] = set_index
+            if set_index % self._period:
+                set_index = None
+            self._sample_cache[addr] = set_index
+        if set_index is None:
+            return
+        self.accesses += 1
+        if shared:
+            self.shared_accesses += 1
+        stack = self._stacks.get(set_index)
+        if stack is None:
+            stack = []
+            self._stacks[set_index] = stack
+        try:
+            position = stack.index(addr)
+        except ValueError:
+            stack.insert(0, addr)
+            if len(stack) > self.num_ways:
+                stack.pop()
+            return
+        self.hits[position] += 1
+        if shared:
+            self.shared_hits[position] += 1
+        del stack[position]
+        stack.insert(0, addr)
+
+    def shared_curve(self) -> list[float]:
+        """Miss curve of the shared-classified accesses alone."""
+        curve = [float(self.shared_accesses)]
+        running = float(self.shared_accesses)
+        for h in self.shared_hits:
+            running -= h
+            curve.append(running)
+        return curve
+
+    def private_curve(self) -> list[float]:
+        """Miss curve of the private accesses: total minus shared."""
+        return [
+            t - s for t, s in zip(self.miss_curve(), self.shared_curve())
+        ]
+
+    def epoch_reset(self) -> None:
+        super().epoch_reset()
+        self.shared_accesses //= 2
+        self.shared_hits = [h // 2 for h in self.shared_hits]
+
+    def register_stats(self, group) -> None:
+        super().register_stats(group)
+        group.stat(
+            "shared_accesses",
+            lambda: self.shared_accesses,
+            "sampled accesses classified as shared reuse (decayed)",
+        )
+        group.stat(
+            "shared_position_hits",
+            lambda: list(self.shared_hits),
+            "per-position hit counters of the shared subset (decayed)",
+        )
+
+
 def interpolate_curve(curve: list[float], num_points: int) -> list[float]:
     """Linearly resample a miss curve to ``num_points + 1`` points.
 

@@ -97,13 +97,24 @@ def _cmd_overheads(args) -> int:
 
 
 def _cmd_run_mix(args) -> int:
+    from repro.harness.schemes import split_scheme
+
     config = small_system() if args.system == "small" else large_system()
     if args.epoch_cycles:
         from dataclasses import replace
 
         config = replace(config, epoch_cycles=args.epoch_cycles)
     apps_per_slot = config.num_cores // 4
-    mix = make_mix(args.mix_class, args.mix_index, apps_per_slot=apps_per_slot)
+    try:
+        # Validate both names before the (potentially long) run; the
+        # errors carry did-you-mean hints from the registries.
+        split_scheme(args.scheme)
+        mix = make_mix(
+            args.mix_class, args.mix_index, apps_per_slot=apps_per_slot
+        )
+    except ValueError as err:
+        print(f"error: {err}")
+        return 1
     print(f"mix {mix.name}: {[a.name for a in mix.apps]}")
     run = run_mix(mix, args.scheme, config, args.instructions, seed=args.seed)
     result = run.result
@@ -178,13 +189,19 @@ def _cmd_bench(args) -> int:
     import json
     from pathlib import Path
 
-    from repro.harness.bench import compare_reports, run_bench
+    from repro.harness.bench import compare_reports, run_bench, update_history
 
     baseline = None
     if args.compare is not None:
         # Parse the baseline up front so a bad path fails before the
         # (minutes-long) bench run, not after.
         baseline = json.loads(Path(args.compare).read_text())
+    if args.history is not None and Path(args.history).exists():
+        # Likewise validate an existing history file up front.
+        if not isinstance(json.loads(Path(args.history).read_text()), list):
+            print(f"error: {args.history} is not a bench history "
+                  f"(expected a JSON list)")
+            return 1
     report = run_bench(
         smoke=args.smoke,
         tag=args.tag,
@@ -204,6 +221,20 @@ def _cmd_bench(args) -> int:
                 print(f"  {line}")
             return 1
         print(f"no speedup regressions vs {args.compare}")
+    if args.history is not None:
+        regressions, compared = update_history(report, args.history)
+        if regressions:
+            print(
+                f"speedup regressions vs best of last {compared} "
+                f"runs in {args.history}:"
+            )
+            for line in regressions:
+                print(f"  {line}")
+            return 1
+        print(
+            f"appended to {args.history} (no regressions vs "
+            f"{compared} prior runs)"
+        )
     return 0
 
 
@@ -248,6 +279,7 @@ def _cmd_serve(args) -> int:
 
 def _cmd_submit(args) -> int:
     from repro.harness import SimJob
+    from repro.harness.schemes import split_scheme
     from repro.sim import large_system, small_system
     from repro.workloads import make_mix
 
@@ -257,7 +289,16 @@ def _cmd_submit(args) -> int:
 
         config = replace(config, epoch_cycles=args.epoch_cycles)
     apps_per_slot = config.num_cores // 4
-    mix = make_mix(args.mix_class, args.mix_index, apps_per_slot=apps_per_slot)
+    try:
+        # Same up-front validation as run-mix: fail with a hint before
+        # anything is submitted to the daemon.
+        split_scheme(args.scheme)
+        mix = make_mix(
+            args.mix_class, args.mix_index, apps_per_slot=apps_per_slot
+        )
+    except ValueError as err:
+        print(f"error: {err}")
+        return 1
     job = SimJob(mix, args.scheme, config, args.instructions, seed=args.seed)
     with _service_client(args) as svc:
         if args.no_wait:
@@ -445,6 +486,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="baseline BENCH_<tag>.json; exit 1 if any kernel's speedup "
         "regresses more than 10%% below it",
+    )
+    p.add_argument(
+        "--history",
+        default=None,
+        metavar="PATH",
+        help="JSON history file: append this run and exit 1 if any "
+        "kernel's speedup regresses more than 10%% below the best of "
+        "the last 5 recorded runs",
     )
 
     return parser

@@ -72,8 +72,9 @@ class VantageCache(PartitionedCache):
         array: CacheArray,
         num_partitions: int,
         config: VantageConfig | None = None,
+        shared_policy: str | None = None,
     ):
-        super().__init__(array, num_partitions)
+        super().__init__(array, num_partitions, shared_policy=shared_policy)
         self.config = config if config is not None else VantageConfig()
         n = num_partitions
 
@@ -305,7 +306,16 @@ class VantageCache(PartitionedCache):
             part_of[slot] = part
             self.actual_size[part] += 1
             self.promotions[part] += 1
+            if self._shared_code:
+                self.touched_by[slot] |= 1 << part
             owner = part
+        elif self._shared_code and owner != part:
+            owner = self._shared_hit(slot, part)
+            if owner == UNMANAGED:
+                # promote-to-shared parked the line in the unmanaged
+                # region (already stamped/ticked there); no managed
+                # partition state to update.
+                return
         if self._lru_touch:
             self.line_ts[slot] = self.current_ts[owner]
         else:
@@ -643,6 +653,39 @@ class VantageCache(PartitionedCache):
         self._evict_slot(slots[victim])
         return victim
 
+    def _shared_hit(self, slot: int, requester: int) -> int:
+        """Vantage's on-shared-hit policies.
+
+        ``migrate-to-requester`` transfers the line (and its budget)
+        between managed partitions.  ``promote-to-shared`` uses the
+        unmanaged region as the shared pool: the line is parked there
+        (stamped with the unmanaged clock, *not* counted as a churn
+        demotion, so setpoint feedback is unaffected) and the ordinary
+        unmanaged-hit promotion re-claims it for whichever partition
+        touches it next.  Returns the line's owner afterwards
+        (``UNMANAGED`` means the caller has nothing left to stamp).
+        """
+        self.touched_by[slot] |= 1 << requester
+        self.shared_hits[requester] += 1
+        code = self._shared_code
+        if code == 2:  # migrate-to-requester
+            owner = self.part_of[slot]
+            self.part_of[slot] = requester
+            self.actual_size[owner] -= 1
+            self.actual_size[requester] += 1
+            self.shared_moves[requester] += 1
+            return requester
+        if code == 3:  # promote-to-shared
+            owner = self.part_of[slot]
+            self.actual_size[owner] -= 1
+            self.part_of[slot] = UNMANAGED
+            self.line_ts[slot] = self.unmanaged_ts
+            self.unmanaged_size += 1
+            self.shared_moves[requester] += 1
+            self._tick_unmanaged()
+            return UNMANAGED
+        return self.part_of[slot]
+
     def _demotable(self, slot: int, owner: int) -> bool:
         """Setpoint check: demote lines whose timestamp falls outside
         the keep window between SetpointTS and CurrentTS (Fig 3b)."""
@@ -677,6 +720,8 @@ class VantageCache(PartitionedCache):
             self.stats.evictions[owner] += 1
             if self.eviction_hook is not None:
                 self.eviction_hook(slot, owner)
+        if self._shared_code:
+            self.touched_by[slot] = 0
         self.part_of[slot] = NO_PART
 
     def _finish_install(self, addr: int, part: int, victim: Candidate) -> None:
@@ -692,6 +737,12 @@ class VantageCache(PartitionedCache):
                 if move_hook:
                     self._move_line_state(src, dst)
         landing = victim.path[0]
+        if self._shared_code:
+            touched_by = self.touched_by
+            for src, dst in moves:
+                touched_by[dst] = touched_by[src]
+                touched_by[src] = 0
+            touched_by[landing] = 1 << part
         part_of[landing] = part
         if self._plain_insert:
             line_ts[landing] = self.current_ts[part]

@@ -94,6 +94,13 @@ def _vantage_kernel(cache, rrpv):
     # a bound call (insert: leader voting + RNG).
     plain_insert = cache._plain_insert
     set_inserted = cache._set_inserted_line_state
+    # Shared-region bookkeeping (0 = off, the default).  _shared_hit
+    # stays a bound call: it only touches live cache registers (no
+    # scalar here is hoisted across accesses), so the object path and
+    # the kernel run the identical policy code.
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
 
     st = cache.stats
     st_acc = st.accesses
@@ -110,22 +117,30 @@ def _vantage_kernel(cache, rrpv):
                 part_of[slot] = part
                 actual[part] += 1
                 promotions[part] += 1
+                if shared_code:
+                    touched_by[slot] |= 1 << part
                 owner = part
-            line_ts[slot] = current_ts[owner]
-            if rrpv is not None:
-                rrpv[slot] = 0
-            # _tick(owner), inlined.
-            count = access_counter[owner] + 1
-            size = actual[owner]
-            if size != tick_size[owner]:
-                tick_size[owner] = size
-                period = size >> 4
-                tick_period[owner] = period if period > 0 else 1
-            if count >= tick_period[owner]:
-                access_counter[owner] = 0
-                current_ts[owner] = (current_ts[owner] + 1) & _TS_MASK
-            else:
-                access_counter[owner] = count
+            elif shared_code and owner != part:
+                owner = shared_hit(slot, part)
+            if owner != UNMANAGED:
+                # UNMANAGED only after a promote-to-shared _shared_hit
+                # parked the line (stamped on the unmanaged clock);
+                # otherwise stamp and tick the managed owner as always.
+                line_ts[slot] = current_ts[owner]
+                if rrpv is not None:
+                    rrpv[slot] = 0
+                # _tick(owner), inlined.
+                count = access_counter[owner] + 1
+                size = actual[owner]
+                if size != tick_size[owner]:
+                    tick_size[owner] = size
+                    period = size >> 4
+                    tick_period[owner] = period if period > 0 else 1
+                if count >= tick_period[owner]:
+                    access_counter[owner] = 0
+                    current_ts[owner] = (current_ts[owner] + 1) & _TS_MASK
+                else:
+                    access_counter[owner] = count
             st_acc[part] += 1
             st_hit[part] += 1
             return True
@@ -161,6 +176,8 @@ def _vantage_kernel(cache, rrpv):
                 way = landing // num_sets
                 pos_by_slot[landing] = first[:way] + first[way + 1 :]
                 part_of[landing] = part
+                if shared_code:
+                    touched_by[landing] = 1 << part
                 if plain_insert:
                     line_ts[landing] = current_ts[part]
                 else:
@@ -195,7 +212,12 @@ def _vantage_kernel(cache, rrpv):
                 line_ts[dst] = line_ts[src]
                 if rrpv is not None:
                     rrpv[dst] = rrpv[src]
+                if shared_code:
+                    touched_by[dst] = touched_by[src]
+                    touched_by[src] = 0
         part_of[landing] = part
+        if shared_code:
+            touched_by[landing] = 1 << part
         if plain_insert:
             line_ts[landing] = current_ts[part]
         else:
@@ -279,6 +301,9 @@ def _vantage_batch(cache, ctx, rrpv):
     zwalk = cache._zwalk
     plain_insert = cache._plain_insert
     set_inserted = cache._set_inserted_line_state
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
 
     st = cache.stats
     st_acc = st.accesses
@@ -358,23 +383,32 @@ def _vantage_batch(cache, ctx, rrpv):
                             part_of[slot] = cid
                             actual[cid] += 1
                             promotions[cid] += 1
+                            if shared_code:
+                                touched_by[slot] |= 1 << cid
                             owner = cid
-                        line_ts[slot] = current_ts[owner]
-                        if rrpv is not None:
-                            rrpv[slot] = 0
-                        tick_count = access_counter[owner] + 1
-                        size = actual[owner]
-                        if size != tick_size[owner]:
-                            tick_size[owner] = size
-                            period = size >> 4
-                            tick_period[owner] = period if period > 0 else 1
-                        if tick_count >= tick_period[owner]:
-                            access_counter[owner] = 0
-                            current_ts[owner] = (
-                                current_ts[owner] + 1
-                            ) & _TS_MASK
-                        else:
-                            access_counter[owner] = tick_count
+                        elif shared_code and owner != cid:
+                            owner = shared_hit(slot, cid)
+                        if owner != UNMANAGED:
+                            # UNMANAGED only after promote-to-shared
+                            # parked the line inside _shared_hit.
+                            line_ts[slot] = current_ts[owner]
+                            if rrpv is not None:
+                                rrpv[slot] = 0
+                            tick_count = access_counter[owner] + 1
+                            size = actual[owner]
+                            if size != tick_size[owner]:
+                                tick_size[owner] = size
+                                period = size >> 4
+                                tick_period[owner] = (
+                                    period if period > 0 else 1
+                                )
+                            if tick_count >= tick_period[owner]:
+                                access_counter[owner] = 0
+                                current_ts[owner] = (
+                                    current_ts[owner] + 1
+                                ) & _TS_MASK
+                            else:
+                                access_counter[owner] = tick_count
                         st_acc[cid] += 1
                         st_hit[cid] += 1
                         t += hit_latency
@@ -426,7 +460,12 @@ def _vantage_batch(cache, ctx, rrpv):
                                         line_ts[dst] = line_ts[src]
                                         if rrpv is not None:
                                             rrpv[dst] = rrpv[src]
+                                        if shared_code:
+                                            touched_by[dst] = touched_by[src]
+                                            touched_by[src] = 0
                             part_of[landing] = cid
+                            if shared_code:
+                                touched_by[landing] = 1 << cid
                             if plain_insert:
                                 line_ts[landing] = current_ts[cid]
                             else:

@@ -443,6 +443,97 @@ def compare_reports(
     return regressions
 
 
+#: Per-kernel fields kept in a history entry: what compare_reports
+#: reads, plus the raw timings behind the ratio for later inspection.
+_HISTORY_KERNEL_FIELDS = (
+    "scheme",
+    "partitioned",
+    "instructions",
+    "optimized_s",
+    "reference_s",
+    "speedup",
+)
+_HISTORY_BATCH_FIELDS = ("scheme", "speedup", "batch_on_s", "batch_off_s")
+
+
+def update_history(
+    report: dict,
+    path: str | Path,
+    window: int = 5,
+    tolerance: float = 0.10,
+) -> tuple[list[str], int]:
+    """Append ``report`` to the JSON history at ``path``, gating it
+    against the best recent run.
+
+    The history file holds a JSON list of slimmed bench entries, one
+    per run.  Before appending, the report is compared (via
+    :func:`compare_reports`) against a synthetic best-of baseline
+    drawn from the last ``window`` non-smoke entries: per kernel
+    scheme the highest recorded speedup, and the highest batch-layer
+    speedup.  Comparing against the best of a window rather than the
+    previous run keeps one slow run from silently ratcheting the
+    floor down across a sequence of runs.  Smoke reports are appended
+    (so the record shows CI activity) but never compared in either
+    direction -- their ratios are timing noise.
+
+    Returns ``(regressions, compared)``: the regression descriptions
+    and how many history entries the baseline was drawn from.  The
+    entry is appended even when regressions are found, so the slow
+    run stays visible in the record.
+    """
+    path = Path(path)
+    if path.exists():
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            raise ValueError(
+                f"{path} is not a bench history (expected a JSON list)"
+            )
+    else:
+        history = []
+
+    recent = [entry for entry in history if not entry.get("smoke")][-window:]
+    if report.get("smoke"):
+        recent = []  # smoke ratios are noise: record the run, skip the gate
+    regressions: list[str] = []
+    if recent:
+        best_kernels: dict[str, dict] = {}
+        best_batch: dict | None = None
+        for entry in recent:
+            for row in entry.get("kernels", []):
+                best = best_kernels.get(row["scheme"])
+                if best is None or row["speedup"] > best["speedup"]:
+                    best_kernels[row["scheme"]] = row
+            batch = entry.get("batch")
+            if batch and (
+                best_batch is None or batch["speedup"] > best_batch["speedup"]
+            ):
+                best_batch = batch
+        baseline = {
+            "smoke": False,
+            "kernels": list(best_kernels.values()),
+            "batch": best_batch,
+        }
+        regressions = compare_reports(report, baseline, tolerance)
+
+    entry = {
+        "tag": report.get("tag"),
+        "smoke": bool(report.get("smoke")),
+        "unix_time": round(time.time(), 3),
+        "kernels": [
+            {k: row[k] for k in _HISTORY_KERNEL_FIELDS if k in row}
+            for row in report.get("kernels", [])
+        ],
+    }
+    batch = report.get("batch")
+    if batch:
+        entry["batch"] = {
+            k: batch[k] for k in _HISTORY_BATCH_FIELDS if k in batch
+        }
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    return regressions, len(recent)
+
+
 def bench_stats_overhead(instructions: int, rounds: int) -> dict:
     """Time the headline optimized kernel with telemetry on vs off.
 

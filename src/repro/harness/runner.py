@@ -12,9 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import telemetry
-from repro.allocation import UCPPolicy, UMonitor
+from repro.allocation import (
+    ReuseAwareUCPPolicy,
+    ReuseUMonitor,
+    UCPPolicy,
+    UMonitor,
+)
 from repro.analysis.stats import SizeTimeSeries
-from repro.harness.schemes import build_cache, scheme_partitioned
+from repro.harness.schemes import (
+    build_cache,
+    scheme_partitioned,
+    scheme_reuse_aware,
+)
 from repro.sim import CMPSystem, SystemConfig, SystemResult
 from repro.telemetry import StatGroup
 from repro.workloads import Mix
@@ -26,19 +35,40 @@ UMON_WAYS_LARGE = 64
 VANTAGE_GRANULARITY = 256
 
 
-def build_policy(cache, config: SystemConfig, seed: int = 0) -> UCPPolicy:
-    """A UCP policy matched to the cache's allocation unit."""
+def build_policy(
+    cache, config: SystemConfig, seed: int = 0, scheme: str | None = None
+) -> UCPPolicy:
+    """A UCP policy matched to the cache's allocation unit.
+
+    Reuse-aware schemes get :class:`ReuseAwareUCPPolicy` over
+    :class:`ReuseUMonitor`\\ s sharing one hash seed (their sampled
+    sets must coincide for the first-touch classification to see every
+    partition's view of an address).
+    """
     umon_ways = UMON_WAYS_SMALL if config.num_cores <= 8 else UMON_WAYS_LARGE
     model_sets = max(64, config.l2_lines // umon_ways)
     # Round down to a power of two for the set-index hash.
     model_sets = 1 << (model_sets.bit_length() - 1)
-    monitors = [
-        UMonitor(umon_ways, model_sets, sampled_sets=64, seed=seed + 17 * part)
-        for part in range(config.num_cores)
-    ]
+    reuse = scheme is not None and scheme_reuse_aware(scheme)
+    if reuse:
+        monitors = [
+            ReuseUMonitor(umon_ways, model_sets, sampled_sets=64, seed=seed)
+            for _part in range(config.num_cores)
+        ]
+        policy_cls = ReuseAwareUCPPolicy
+    else:
+        monitors = [
+            UMonitor(
+                umon_ways, model_sets, sampled_sets=64, seed=seed + 17 * part
+            )
+            for part in range(config.num_cores)
+        ]
+        policy_cls = UCPPolicy
     if cache.allocation_unit == "ways":
-        return UCPPolicy(monitors, total_units=cache.allocation_total, min_units=1)
-    return UCPPolicy(
+        return policy_cls(
+            monitors, total_units=cache.allocation_total, min_units=1
+        )
+    return policy_cls(
         monitors,
         total_units=cache.allocation_total,
         min_units=1,
@@ -94,7 +124,9 @@ def run_mix(
     )
     if partitioned is None:
         partitioned = scheme_partitioned(scheme)
-    policy = build_policy(cache, config, seed) if partitioned else None
+    policy = (
+        build_policy(cache, config, seed, scheme=scheme) if partitioned else None
+    )
     series = None
     if size_sample_cycles is not None:
         series = SizeTimeSeries(config.num_cores)

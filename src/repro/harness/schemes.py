@@ -23,6 +23,7 @@ high-candidate designs (R >= 52) and 10 % for R = 16 designs, with
 
 from __future__ import annotations
 
+import difflib
 from functools import lru_cache
 
 from repro.arrays import (
@@ -172,6 +173,23 @@ def _build_vantage_analytical(
 
 
 @register_scheme(
+    "reuse-aware",
+    partitioned=True,
+    reuse_aware=True,
+    description="Vantage with shared-line migration and reuse-aware UCP",
+)
+def _build_reuse_aware(array, num_partitions, num_lines, seed, vantage_config):
+    config = vantage_config or default_vantage_config(array)
+    # migrate-to-requester keeps shared lines inside the managed
+    # region (promote-to-shared would thrash the ~5 % unmanaged pool
+    # on read-mostly tables); the requester carrying the line's budget
+    # is what the reuse-aware UMON classification models.
+    return VantageCache(
+        array, num_partitions, config, shared_policy="migrate-to-requester"
+    )
+
+
+@register_scheme(
     "waypart",
     partitioned=True,
     description="way partitioning (restricts insertion ways)",
@@ -210,14 +228,26 @@ for _policy_name, _policy_desc in _BASELINE_POLICIES.items():
         return BaselineCache(array, policy, num_partitions)
 
 
+def _close_matches_hint(name: str, known: list[str]) -> str:
+    """`` (did you mean ...?)`` suffix for unknown-name errors."""
+    # The prefix before the first array-token-looking fragment gives
+    # difflib a fair shot at e.g. 'vantge-z4/52' -> 'vantage'.
+    stem = name.split("-")[0]
+    close = difflib.get_close_matches(name, known, n=3) or (
+        difflib.get_close_matches(stem, known, n=3) if stem != name else []
+    )
+    return f" (did you mean: {', '.join(close)}?)" if close else ""
+
+
 def split_scheme(scheme: str) -> tuple[RegistryEntry, str]:
     """Split ``scheme`` into its registry entry and array token."""
     name = scheme.lower()
     matched = SCHEMES.match_prefix(name, sep="-")
     if matched is None:
+        known = SCHEMES.names()
         raise ValueError(
             f"unknown scheme {scheme!r}; known kinds: "
-            f"{', '.join(SCHEMES.names())}"
+            f"{', '.join(known)}{_close_matches_hint(name, known)}"
         )
     return matched
 
@@ -226,6 +256,12 @@ def scheme_partitioned(scheme: str) -> bool:
     """Whether ``scheme`` enforces per-partition allocations."""
     entry, _ = split_scheme(scheme)
     return bool(entry.metadata.get("partitioned"))
+
+
+def scheme_reuse_aware(scheme: str) -> bool:
+    """Whether ``scheme`` wants the reuse-aware UCP policy stack."""
+    entry, _ = split_scheme(scheme)
+    return bool(entry.metadata.get("reuse_aware"))
 
 
 @lru_cache(maxsize=None)

@@ -39,6 +39,25 @@ except ImportError:  # pragma: no cover - numpy is present in CI
 #: distinguishing empty from unmanaged.
 NO_PART = -2
 
+#: On-shared-hit policies: what happens when a line is hit by a
+#: partition other than its current owner (only possible on
+#: shared-region mixes, where address spaces overlap).  ``part_of``
+#: stays the single *owner* column driving eviction attribution and
+#: size accounting; the ``touched_by`` bitmask records every partition
+#: that ever hit the line.
+#:
+#: - ``keep-owner``: bookkeeping only -- ownership never moves.
+#: - ``migrate-to-requester``: the requester takes ownership (and the
+#:   line's budget) on every cross-owner hit, tracking migratory use.
+#: - ``promote-to-shared``: hand the line to a shared pool.  Only
+#:   Vantage has one (the unmanaged region); strictly partitioned
+#:   schemes fall back to ``keep-owner``.
+SHARED_POLICIES = {
+    "keep-owner": 1,
+    "migrate-to-requester": 2,
+    "promote-to-shared": 3,
+}
+
 
 def fused_default() -> bool:
     """Whether caches should install their fused access kernels.
@@ -277,9 +296,24 @@ class PartitionedCache(ABC):
     #: "ways" or "lines" -- the unit of ``set_allocations``.
     allocation_unit: str = "lines"
 
-    def __init__(self, array: CacheArray, num_partitions: int):
+    def __init__(
+        self,
+        array: CacheArray,
+        num_partitions: int,
+        shared_policy: str | None = None,
+    ):
         if num_partitions <= 0:
             raise ValueError(f"num_partitions must be positive, got {num_partitions}")
+        if shared_policy is not None and shared_policy not in SHARED_POLICIES:
+            raise ValueError(
+                f"unknown shared-hit policy {shared_policy!r}; "
+                f"known: {', '.join(sorted(SHARED_POLICIES))}"
+            )
+        if shared_policy is not None and num_partitions > 63:
+            raise ValueError(
+                "shared-hit tracking uses a 64-bit touched_by bitmask; "
+                f"{num_partitions} partitions do not fit"
+            )
         self.array = array
         self.num_partitions = num_partitions
         self.num_lines = array.num_lines
@@ -287,8 +321,20 @@ class PartitionedCache(ABC):
         # Flat owner column (structure-of-arrays): NO_PART for empty
         # slots, UNMANAGED (-1) for Vantage's unmanaged region,
         # otherwise the owning partition -- so ``owner >= 0`` is the
-        # single hot-path ownership test.
+        # single hot-path ownership test.  The owner is the partition
+        # *accountable* for the line (eviction attribution, size
+        # budgets); on shared-region mixes other partitions may hit it
+        # too, which ``touched_by`` records as a per-line core bitmask.
         self.part_of = _array("q", [NO_PART]) * array.num_lines
+        self.touched_by = _array("q", [0]) * array.num_lines
+        #: On-shared-hit policy (``None`` = off: bitwise-identical to
+        #: the pre-sharing behaviour, no bookkeeping at all).
+        self.shared_policy = shared_policy
+        self._shared_code = SHARED_POLICIES.get(shared_policy, 0)
+        #: Cross-owner hits, indexed by the *requesting* partition.
+        self.shared_hits = [0] * num_partitions
+        #: Ownership transfers, indexed by the partition that took over.
+        self.shared_moves = [0] * num_partitions
         self._sizes = [0] * num_partitions
         # Bound tag-lookup for the access hot path (the array's
         # _slot_of dict is created once and never replaced).
@@ -325,6 +371,10 @@ class PartitionedCache(ABC):
 
     def reset_stats(self) -> None:
         self.stats.reset()
+        # In place, like CacheStats.reset: kernels hoist these lists.
+        for counters in (self.shared_hits, self.shared_moves):
+            for i in range(len(counters)):
+                counters[i] = 0
 
     # ------------------------------------------------------------------
     # Fused access kernels.
@@ -432,6 +482,31 @@ class PartitionedCache(ABC):
             lambda: self.partition_sizes(),
             "per-partition resident footprints, in lines",
         )
+        # Gated on an explicit shared-hit policy so the stats schema
+        # (and every existing golden tree) is unchanged for the
+        # multiprogrammed schemes.
+        if self._shared_code:
+            sharing = group.group("sharing", "cross-owner line sharing")
+            sharing.stat(
+                "policy", lambda: self.shared_policy, "on-shared-hit policy"
+            )
+            sharing.stat(
+                "shared_hits",
+                lambda: list(self.shared_hits),
+                "cross-owner hits, by requesting partition",
+            )
+            sharing.stat(
+                "shared_moves",
+                lambda: list(self.shared_moves),
+                "ownership transfers, by new owner",
+            )
+            sharing.stat(
+                "multi_touched_lines",
+                lambda: sum(
+                    1 for bits in self.touched_by if bits and bits & (bits - 1)
+                ),
+                "resident lines touched by more than one partition",
+            )
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers for subclasses.
@@ -445,9 +520,33 @@ class PartitionedCache(ABC):
         else:
             st.misses[part] += 1
 
+    def _shared_hit(self, slot: int, requester: int) -> int:
+        """Apply the on-shared-hit policy to a cross-owner hit.
+
+        Called only when a shared-hit policy is active and
+        ``part_of[slot] != requester`` on a hit.  Returns the line's
+        owner after the policy ran (callers that stamp owner-relative
+        state use the return value).  The base implementation covers
+        strictly partitioned schemes: ``promote-to-shared`` has no
+        shared pool here and falls back to ``keep-owner``; Vantage
+        overrides this to move lines through its unmanaged region.
+        """
+        self.touched_by[slot] |= 1 << requester
+        self.shared_hits[requester] += 1
+        if self._shared_code == SHARED_POLICIES["migrate-to-requester"]:
+            owner = self.part_of[slot]
+            self.part_of[slot] = requester
+            self._sizes[owner] -= 1
+            self._sizes[requester] += 1
+            self.shared_moves[requester] += 1
+            return requester
+        return self.part_of[slot]
+
     def _evict_bookkeeping(self, victim: Candidate) -> None:
         """Account for the eviction of an occupied ``victim``."""
         owner = self.part_of[victim.slot]
+        if self._shared_code:
+            self.touched_by[victim.slot] = 0
         if owner >= 0:
             if self.eviction_hook is not None:
                 self.eviction_hook(victim.slot, owner)
@@ -468,6 +567,12 @@ class PartitionedCache(ABC):
             part_of[src] = NO_PART
         landing = victim.path[0]
         part_of[landing] = part
+        if self._shared_code:
+            touched_by = self.touched_by
+            for src, dst in moves:
+                touched_by[dst] = touched_by[src]
+                touched_by[src] = 0
+            touched_by[landing] = 1 << part
         self._sizes[part] += 1
         return landing
 
@@ -490,8 +595,14 @@ class BaselineCache(PartitionedCache):
 
     allocation_unit = "lines"
 
-    def __init__(self, array: CacheArray, policy: ReplacementPolicy, num_partitions: int = 1):
-        super().__init__(array, num_partitions)
+    def __init__(
+        self,
+        array: CacheArray,
+        policy: ReplacementPolicy,
+        num_partitions: int = 1,
+        shared_policy: str | None = None,
+    ):
+        super().__init__(array, num_partitions, shared_policy=shared_policy)
         if policy.num_lines != array.num_lines:
             raise ValueError("policy and array disagree on num_lines")
         self.policy = policy
@@ -523,6 +634,8 @@ class BaselineCache(PartitionedCache):
             self.policy.on_hit(slot, part, addr)
             st.accesses[part] += 1
             st.hits[part] += 1
+            if self._shared_code and self.part_of[slot] != part:
+                self._shared_hit(slot, part)
             return True
 
         st.accesses[part] += 1

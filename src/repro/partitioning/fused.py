@@ -69,6 +69,12 @@ def _baseline_sa_lru_kernel(cache, array, policy):
     granularity = policy._granularity
     part_of = cache.part_of
     sizes = cache._sizes
+    # Shared-region bookkeeping (0 = off).  _shared_hit stays a bound
+    # call: it only mutates live cache state, none of which this
+    # kernel hoists as scalars.
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -89,6 +95,8 @@ def _baseline_sa_lru_kernel(cache, array, policy):
                 policy._accesses = acc
             st_acc[part] += 1
             st_hit[part] += 1
+            if shared_code and part_of[slot] != part:
+                shared_hit(slot, part)
             return True
 
         st_acc[part] += 1
@@ -138,6 +146,8 @@ def _baseline_sa_lru_kernel(cache, array, policy):
         if collect:
             array.stat_installs += 1
         part_of[slot] = part
+        if shared_code:
+            touched_by[slot] = 1 << part
         sizes[part] += 1
         # CoarseLRUPolicy.on_insert: stamp + tick.
         state[slot] = policy.current_ts
@@ -185,6 +195,9 @@ def _baseline_generic_kernel(cache, array, policy):
     granularity = getattr(policy, "_granularity", 1)
     part_of = cache.part_of
     sizes = cache._sizes
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -215,6 +228,8 @@ def _baseline_generic_kernel(cache, array, policy):
                 on_hit(slot, part, addr)
             st_acc[part] += 1
             st_hit[part] += 1
+            if shared_code and part_of[slot] != part:
+                shared_hit(slot, part)
             return True
 
         st_acc[part] += 1
@@ -225,6 +240,8 @@ def _baseline_generic_kernel(cache, array, policy):
         else:
             index = select_index(slots)
             vslot = slots[index]
+            if shared_code:
+                touched_by[vslot] = 0
             owner = part_of[vslot]
             if owner >= 0:
                 hook = cache.eviction_hook
@@ -244,7 +261,12 @@ def _baseline_generic_kernel(cache, array, policy):
                     on_move(src, dst)
                 part_of[dst] = part_of[src]
                 part_of[src] = NO_PART
+                if shared_code:
+                    touched_by[dst] = touched_by[src]
+                    touched_by[src] = 0
         part_of[landing] = part
+        if shared_code:
+            touched_by[landing] = 1 << part
         sizes[part] += 1
         if lru_insert:
             state[landing] = policy.current_ts
@@ -285,6 +307,9 @@ def build_waypart_kernel(cache: WayPartitionedCache):
     way_owner = cache._way_owner
     part_of = cache.part_of
     sizes = cache._sizes
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -304,6 +329,8 @@ def build_waypart_kernel(cache: WayPartitionedCache):
                 policy._accesses = acc
             st_acc[part] += 1
             st_hit[part] += 1
+            if shared_code and part_of[slot] != part:
+                shared_hit(slot, part)
             return True
 
         st_acc[part] += 1
@@ -347,6 +374,8 @@ def build_waypart_kernel(cache: WayPartitionedCache):
         if collect:
             array.stat_installs += 1
         part_of[slot] = part
+        if shared_code:
+            touched_by[slot] = 1 << part
         sizes[part] += 1
         state[slot] = policy.current_ts
         acc = policy._accesses + 1
@@ -382,6 +411,9 @@ def build_pipp_kernel(cache: PIPPCache):
     win_misses = cache._win_misses
     part_of = cache.part_of
     sizes = cache._sizes
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -408,6 +440,8 @@ def build_pipp_kernel(cache: PIPPCache):
                     chain[i + 1] = slot
                     pos_of[other] = i
                     pos_of[slot] = i + 1
+            if shared_code and part_of[slot] != part:
+                shared_hit(slot, part)
             return True
 
         st_acc[part] += 1
@@ -446,6 +480,8 @@ def build_pipp_kernel(cache: PIPPCache):
         if collect:
             array.stat_installs += 1
         part_of[slot] = part
+        if shared_code:
+            touched_by[slot] = 1 << part
         sizes[part] += 1
         # _chain_insert at the partition's insertion position.
         index = STREAM_WAYS if streaming[part] else alloc_ways[part]
@@ -520,6 +556,11 @@ def _baseline_sa_lru_batch(cache, array, policy, ctx):
     granularity = policy._granularity
     part_of = cache.part_of
     sizes = cache._sizes
+    # _shared_hit stays a bound call: it never touches the hoisted
+    # policy tick registers, only live cache state.
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -603,6 +644,8 @@ def _baseline_sa_lru_batch(cache, array, policy, ctx):
                             cur_ts = (cur_ts + 1) & _TS_MASK
                         st_acc[cid] += 1
                         st_hit[cid] += 1
+                        if shared_code and part_of[slot] != cid:
+                            shared_hit(slot, cid)
                         t += hit_latency
                     else:
                         st_acc[cid] += 1
@@ -644,6 +687,8 @@ def _baseline_sa_lru_batch(cache, array, policy, ctx):
                         if walk_stats:
                             array.stat_installs += 1
                         part_of[slot] = cid
+                        if shared_code:
+                            touched_by[slot] = 1 << cid
                         sizes[cid] += 1
                         state[slot] = cur_ts
                         accs += 1
@@ -733,6 +778,9 @@ def _baseline_generic_batch(cache, array, policy, ctx):
     granularity = getattr(policy, "_granularity", 1)
     part_of = cache.part_of
     sizes = cache._sizes
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -828,6 +876,8 @@ def _baseline_generic_batch(cache, array, policy, ctx):
                             on_hit(slot, cid, addr)
                         st_acc[cid] += 1
                         st_hit[cid] += 1
+                        if shared_code and part_of[slot] != cid:
+                            shared_hit(slot, cid)
                         t += hit_latency
                     else:
                         st_acc[cid] += 1
@@ -838,6 +888,8 @@ def _baseline_generic_batch(cache, array, policy, ctx):
                         else:
                             index = select_index(slots)
                             vslot = slots[index]
+                            if shared_code:
+                                touched_by[vslot] = 0
                             owner = part_of[vslot]
                             if owner >= 0:
                                 st_evict[owner] += 1
@@ -854,7 +906,12 @@ def _baseline_generic_batch(cache, array, policy, ctx):
                                     on_move(src, dst)
                                 part_of[dst] = part_of[src]
                                 part_of[src] = NO_PART
+                                if shared_code:
+                                    touched_by[dst] = touched_by[src]
+                                    touched_by[src] = 0
                         part_of[landing] = cid
+                        if shared_code:
+                            touched_by[landing] = 1 << cid
                         sizes[cid] += 1
                         if lru_insert:
                             state[landing] = policy.current_ts
@@ -943,6 +1000,9 @@ def build_waypart_batch(cache: WayPartitionedCache, ctx):
     way_owner = cache._way_owner
     part_of = cache.part_of
     sizes = cache._sizes
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -1025,6 +1085,8 @@ def build_waypart_batch(cache: WayPartitionedCache, ctx):
                             cur_ts = (cur_ts + 1) & _TS_MASK
                         st_acc[cid] += 1
                         st_hit[cid] += 1
+                        if shared_code and part_of[slot] != cid:
+                            shared_hit(slot, cid)
                         t += hit_latency
                     else:
                         st_acc[cid] += 1
@@ -1061,6 +1123,8 @@ def build_waypart_batch(cache: WayPartitionedCache, ctx):
                         if walk_stats:
                             array.stat_installs += 1
                         part_of[slot] = cid
+                        if shared_code:
+                            touched_by[slot] = 1 << cid
                         sizes[cid] += 1
                         state[slot] = cur_ts
                         accs += 1
@@ -1142,6 +1206,9 @@ def build_pipp_batch(cache: PIPPCache, ctx):
     win_misses = cache._win_misses
     part_of = cache.part_of
     sizes = cache._sizes
+    shared_code = cache._shared_code
+    shared_hit = cache._shared_hit
+    touched_by = cache.touched_by
     st = cache.stats
     st_acc = st.accesses
     st_hit = st.hits
@@ -1230,6 +1297,8 @@ def build_pipp_batch(cache: PIPPCache, ctx):
                                 chain[i + 1] = slot
                                 pos_of[other] = i
                                 pos_of[slot] = i + 1
+                        if shared_code and part_of[slot] != cid:
+                            shared_hit(slot, cid)
                         t += hit_latency
                     else:
                         st_acc[cid] += 1
@@ -1263,6 +1332,8 @@ def build_pipp_batch(cache: PIPPCache, ctx):
                         if walk_stats:
                             array.stat_installs += 1
                         part_of[slot] = cid
+                        if shared_code:
+                            touched_by[slot] = 1 << cid
                         sizes[cid] += 1
                         index = (
                             STREAM_WAYS if streaming[cid] else alloc_ways[cid]

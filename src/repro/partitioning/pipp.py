@@ -51,10 +51,11 @@ class PIPPCache(PartitionedCache):
         p_stream: float = P_STREAM,
         theta_m: float = THETA_M,
         seed: int = 0,
+        shared_policy: str | None = None,
     ):
         if not isinstance(array, SetAssociativeArray):
             raise TypeError("PIPP requires a set-associative array")
-        super().__init__(array, num_partitions)
+        super().__init__(array, num_partitions, shared_policy=shared_policy)
         self.p_prom = p_prom
         self.p_stream = p_stream
         self.theta_m = theta_m
@@ -153,6 +154,10 @@ class PIPPCache(PartitionedCache):
                 self.promotions[part] += 1
                 set_index = slot // array.num_ways
                 self._promote(self._chains[set_index], slot)
+            if self._shared_code and self.part_of[slot] != part:
+                # Attribution only: PIPP partitions through chain
+                # positions, so the line itself does not move.
+                self._shared_hit(slot, part)
             return True
 
         self._record_access(part, hit=False)

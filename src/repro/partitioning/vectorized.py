@@ -120,6 +120,10 @@ def _sa_lru_numpy(cache, ctx, way_owner):
     """
     if _np is None:
         return None
+    if cache._shared_code:
+        # Shared-hit bookkeeping (touched_by stamps) is not vectorized;
+        # fall back to the pure-python batch kernels.
+        return None
     array = cache.array
     policy = cache.policy
     if type(array) is not SetAssociativeArray:

@@ -44,6 +44,7 @@ class WayPartitionedCache(PartitionedCache):
         array: SetAssociativeArray,
         num_partitions: int,
         policy: ReplacementPolicy | None = None,
+        shared_policy: str | None = None,
     ):
         if not isinstance(array, SetAssociativeArray):
             raise TypeError("way-partitioning requires a set-associative array")
@@ -52,7 +53,7 @@ class WayPartitionedCache(PartitionedCache):
                 f"cannot hold {num_partitions} partitions with only "
                 f"{array.num_ways} ways"
             )
-        super().__init__(array, num_partitions)
+        super().__init__(array, num_partitions, shared_policy=shared_policy)
         self.policy = policy if policy is not None else CoarseLRUPolicy(array.num_lines)
         # Start with an equal split (every way assigned to someone).
         base, extra = divmod(array.num_ways, num_partitions)
@@ -96,6 +97,11 @@ class WayPartitionedCache(PartitionedCache):
         if slot is not None:
             self.policy.on_hit(slot, part, addr)
             self._record_access(part, hit=True)
+            if self._shared_code and self.part_of[slot] != part:
+                # Ownership here is attribution only: the line stays
+                # in the way its installer owned (ways, not lines, are
+                # the partitioning unit).
+                self._shared_hit(slot, part)
             return True
 
         self._record_access(part, hit=False)

@@ -107,6 +107,8 @@ class ReferenceBaselineCache(BaselineCache):
         if slot is not None:
             self.policy.on_hit(slot, part, addr)
             self._record_access(part, hit=True)
+            if self._shared_code and self.part_of[slot] != part:
+                self._shared_hit(slot, part)
             return True
 
         self._record_access(part, hit=False)

@@ -16,6 +16,21 @@ Every ``epoch_cycles`` the system invokes the allocation policy (UCP),
 installs the new targets in the cache, re-runs PIPP's stream
 classification, and optionally samples target/actual partition sizes
 for Figure 8-style time series.
+
+Requester vs owner
+------------------
+Every access carries the *requesting* core: the ``cid`` threaded from
+the event loop into ``policy.observe(cid, addr)`` and
+``cache.access(addr, cid)``.  On multiprogrammed mixes each core's
+trace lives in a disjoint address-space slice (``core << 44``), so the
+requester and the line's owning partition always coincide.  Shared-
+region mixes (:class:`~repro.workloads.SharedRegionSpec`) break that
+identity on purpose: several cores issue the same line addresses, and
+a hit's requester may differ from the ``part_of`` owner recorded at
+install time.  The event loop itself needs no cases for this -- the
+requester is simply an argument -- while the cache's on-shared-hit
+policy (``shared_policy``) decides whether ownership follows the
+requester, and reuse-aware UCP classifies such accesses separately.
 """
 
 from __future__ import annotations

@@ -45,11 +45,19 @@ def _generators():
 def _kind_sources(kind: str) -> tuple:
     """Generator functions whose source defines ``kind``'s stream."""
     gen = _generators()
+    # Every private generator a shared wrapper might wrap is folded
+    # into the wrapper's fingerprint (conservative: editing any
+    # private shape invalidates the shared chunks too, which is cheap
+    # and always safe).
+    private = (gen.zipf_stream, gen.loop_stream, gen.scan_stream, gen.phased_stream)
     sources = {
         "zipf": (gen.zipf_stream,),
         "loop": (gen.loop_stream,),
         "scan": (gen.scan_stream, gen.loop_stream),
         "phased-loop": (gen.phased_stream, gen.loop_stream),
+        "pc-shared": (gen.producer_consumer_stream, gen._shared_rng) + private,
+        "table-shared": (gen.shared_table_stream, gen._shared_rng) + private,
+        "migratory-shared": (gen.migratory_stream, gen._shared_rng) + private,
     }
     try:
         return sources[kind]
@@ -88,6 +96,10 @@ class TraceSpec:
     - ``zipf``: ``(ws_lines, alpha, mean_gap)``
     - ``loop`` / ``scan``: ``(ws_lines, mean_gap)``
     - ``phased-loop``: ``(ws_lines, ws2_lines, mean_gap, phase_accesses)``
+    - ``pc-shared`` / ``table-shared`` / ``migratory-shared``:
+      ``(private_kind, private_params, shared_base, shared_lines,
+      fraction, extra, core, num_cores, shared_seed)`` where ``extra``
+      is the table's alpha / the migratory window / 0.
     """
 
     name: str
@@ -119,6 +131,39 @@ class TraceSpec:
                 phase_accesses,
                 self.base,
                 self.seed,
+            )
+        if kind in ("pc-shared", "table-shared", "migratory-shared"):
+            (
+                private_kind,
+                private_params,
+                shared_base,
+                shared_lines,
+                fraction,
+                extra,
+                core,
+                num_cores,
+                shared_seed,
+            ) = params
+            private = TraceSpec(
+                name=self.name,
+                kind=private_kind,
+                params=tuple(private_params),
+                base=self.base,
+                seed=self.seed,
+            ).generator()
+            if kind == "pc-shared":
+                return gen.producer_consumer_stream(
+                    private, shared_base, shared_lines, fraction,
+                    core, num_cores, shared_seed, self.seed,
+                )
+            if kind == "table-shared":
+                return gen.shared_table_stream(
+                    private, shared_base, shared_lines, fraction, extra,
+                    core, num_cores, shared_seed, self.seed,
+                )
+            return gen.migratory_stream(
+                private, shared_base, shared_lines, fraction, extra,
+                core, num_cores, shared_seed, self.seed,
             )
         raise ValueError(f"unknown trace kind {kind!r}")
 

@@ -7,17 +7,29 @@ from repro.workloads.apps import (
     FITTING,
     FRIENDLY,
     INSENSITIVE,
+    SHARED_KINDS,
     STREAMING,
     AppSpec,
+    SharedRegionSpec,
     make_app,
 )
 from repro.workloads.generators import (
     loop_stream,
+    migratory_stream,
     phased_stream,
+    producer_consumer_stream,
     scan_stream,
+    shared_table_stream,
     zipf_stream,
 )
-from repro.workloads.mixes import CATEGORY_ORDER, Mix, make_mix, make_mixes, mix_classes
+from repro.workloads.mixes import (
+    CATEGORY_ORDER,
+    Mix,
+    make_mix,
+    make_mixes,
+    make_shared_mix,
+    mix_classes,
+)
 
 __all__ = [
     "APPS",
@@ -29,13 +41,19 @@ __all__ = [
     "FRIENDLY",
     "INSENSITIVE",
     "Mix",
+    "SHARED_KINDS",
     "STREAMING",
+    "SharedRegionSpec",
     "loop_stream",
     "make_app",
     "make_mix",
     "make_mixes",
+    "make_shared_mix",
+    "migratory_stream",
     "mix_classes",
     "phased_stream",
+    "producer_consumer_stream",
     "scan_stream",
+    "shared_table_stream",
     "zipf_stream",
 ]

@@ -31,6 +31,55 @@ CATEGORY_NAMES = {
 }
 
 
+#: Shared-region generator kinds -> the TraceSpec kind that wraps a
+#: private stream with that sharing shape.  The wrapped kinds are new
+#: strings, so their trace-store / results-cache keys can never collide
+#: with the private variants of the same app.
+SHARED_KINDS = {
+    "producer-consumer": "pc-shared",
+    "shared-table": "table-shared",
+    "migratory": "migratory-shared",
+}
+
+
+@dataclass(frozen=True)
+class SharedRegionSpec:
+    """A shared address region overlaid on a mix's private streams.
+
+    ``kind`` picks the sharing shape (``producer-consumer``,
+    ``shared-table`` or ``migratory``; see
+    :mod:`repro.workloads.generators`), ``lines`` is the shared
+    footprint in cache lines, and ``fraction`` the probability that
+    any given access is redirected into the region.  ``alpha`` only
+    matters for ``shared-table`` (popularity skew) and ``window`` only
+    for ``migratory`` (ownership time-slice, in per-core accesses).
+    ``seed`` feeds the region's common structure (table permutation,
+    per-core decision streams) independently of the run seed.
+    """
+
+    kind: str
+    lines: int
+    fraction: float
+    alpha: float = 0.9
+    window: int = 2_000
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in SHARED_KINDS:
+            raise ValueError(
+                f"unknown shared-region kind {self.kind!r}; "
+                f"known: {', '.join(sorted(SHARED_KINDS))}"
+            )
+        if self.lines <= 0:
+            raise ValueError("shared region needs a positive line count")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("shared fraction must be in [0, 1]")
+
+    @property
+    def trace_kind(self) -> str:
+        return SHARED_KINDS[self.kind]
+
+
 @dataclass(frozen=True)
 class AppSpec:
     """One synthetic application.
@@ -50,9 +99,50 @@ class AppSpec:
     ws2_lines: int = 0
     phase_accesses: int = 50_000
 
-    def trace_spec(self, base: int, seed: int) -> TraceSpec:
+    def trace_spec(
+        self,
+        base: int,
+        seed: int,
+        shared: SharedRegionSpec | None = None,
+        core: int = 0,
+        num_cores: int = 1,
+        shared_base: int = 0,
+    ) -> TraceSpec:
         """This app's stream as a value: the chunk pipeline's unit of
-        identity (see :mod:`repro.traces`)."""
+        identity (see :mod:`repro.traces`).
+
+        With a :class:`SharedRegionSpec`, the private stream is wrapped
+        so a ``fraction`` of accesses land in the shared region at
+        ``shared_base`` (common to every core of the mix).  The
+        wrapped spec uses a distinct ``kind`` and folds every sharing
+        parameter -- including the requesting ``core`` -- into
+        ``params``, so shared and private variants can never collide
+        in the trace store or the results cache.
+        """
+        if shared is not None:
+            private = self.trace_spec(base, seed)
+            extra: float | int = 0
+            if shared.kind == "shared-table":
+                extra = shared.alpha
+            elif shared.kind == "migratory":
+                extra = shared.window
+            return TraceSpec(
+                name=self.name,
+                kind=shared.trace_kind,
+                params=(
+                    private.kind,
+                    private.params,
+                    shared_base,
+                    shared.lines,
+                    shared.fraction,
+                    extra,
+                    core,
+                    num_cores,
+                    shared.seed,
+                ),
+                base=base,
+                seed=seed,
+            )
         if self.kind == "zipf":
             params: tuple = (self.ws_lines, self.alpha, self.mean_gap)
         elif self.kind in ("loop", "scan"):
@@ -70,7 +160,15 @@ class AppSpec:
             name=self.name, kind=self.kind, params=params, base=base, seed=seed
         )
 
-    def trace_factory(self, base: int, seed: int):
+    def trace_factory(
+        self,
+        base: int,
+        seed: int,
+        shared: SharedRegionSpec | None = None,
+        core: int = 0,
+        num_cores: int = 1,
+        shared_base: int = 0,
+    ):
         """A zero-argument callable producing a fresh trace iterator,
         as :class:`~repro.sim.system.CMPSystem` expects.
 
@@ -79,7 +177,14 @@ class AppSpec:
         compiled chunk store; plain callables keep working and simply
         stay on the generator path.
         """
-        return self.trace_spec(base, seed)
+        return self.trace_spec(
+            base,
+            seed,
+            shared=shared,
+            core=core,
+            num_cores=num_cores,
+            shared_base=shared_base,
+        )
 
 
 def _app(name, category, kind, ws, gap, alpha=1.0, ws2=0, phase=50_000) -> AppSpec:

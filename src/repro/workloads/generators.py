@@ -21,6 +21,24 @@ through their miss-versus-capacity curves under LRU:
 
 ``phased_stream`` alternates two generators to create the time-varying
 behaviour UCP reacts to in Figure 8.
+
+The ``*_shared`` wrappers turn a private per-core stream into a
+multi-threaded one: with probability ``fraction`` an access is
+redirected into a *shared region* that overlaps the same lines on
+every core of the mix.  The private stream still advances (its gap is
+kept, so timing is unchanged); only the line address is substituted.
+Three sharing shapes are provided:
+
+- ``producer_consumer_stream``: every core sweeps one common ring in
+  the same order, offset by a per-core phase -- lines installed by one
+  core are re-read by the cores trailing it.
+- ``shared_table_stream``: Zipf-popular reads of a common table; the
+  popularity law and line permutation derive from ``shared_seed``
+  alone, so the *same* lines are hot on every core (read-mostly
+  sharing).
+- ``migratory_stream``: cores take turns owning the shared set in
+  time-slice windows; within its window a core sweeps the region with
+  boosted probability, so lines migrate between partitions over time.
 """
 
 from __future__ import annotations
@@ -105,6 +123,126 @@ def scan_stream(
 ) -> Iterator[TracePair]:
     """Endless sequential scan over a huge region (streaming)."""
     return loop_stream(region_lines, mean_gap, base, seed)
+
+
+def _shared_rng(shared_seed: int, seed: int) -> random.Random:
+    """Per-core RNG for shared-region decisions.
+
+    ``seed`` is the core's private stream seed (which already encodes
+    the run seed and the core id), so cores draw independent decision
+    streams while the run as a whole stays reproducible.
+    """
+    return random.Random(shared_seed * 1_000_003 + seed)
+
+
+def producer_consumer_stream(
+    private: Iterator[TracePair],
+    shared_base: int,
+    shared_lines: int,
+    fraction: float,
+    core: int,
+    num_cores: int,
+    shared_seed: int,
+    seed: int,
+) -> Iterator[TracePair]:
+    """Common ring swept in the same order by every core.
+
+    Each core starts at a phase offset of ``shared_lines/num_cores``
+    lines, so the lines one core installs are re-touched by the cores
+    behind it: classic producer/consumer reuse where the requester is
+    rarely the line's first-touch owner.
+    """
+    if shared_lines <= 0:
+        raise ValueError("shared_lines must be positive")
+    rnd = _shared_rng(shared_seed, seed).random
+    pos = (core * shared_lines) // max(1, num_cores)
+    while True:
+        gap, addr = next(private)
+        if rnd() < fraction:
+            addr = shared_base + pos
+            pos += 1
+            if pos >= shared_lines:
+                pos = 0
+        yield gap, addr
+
+
+def shared_table_stream(
+    private: Iterator[TracePair],
+    shared_base: int,
+    shared_lines: int,
+    fraction: float,
+    alpha: float,
+    core: int,
+    num_cores: int,
+    shared_seed: int,
+    seed: int,
+) -> Iterator[TracePair]:
+    """Read-mostly shared table with Zipf(alpha) popularity.
+
+    The popularity ranking and the rank-to-line permutation are drawn
+    from ``shared_seed`` only, so every core hammers the *same* hot
+    lines -- the read-shared lookup-table pattern.
+    """
+    if shared_lines <= 0:
+        raise ValueError("shared_lines must be positive")
+    common = random.Random(shared_seed)
+    cumulative = []
+    total = 0.0
+    for rank in range(1, shared_lines + 1):
+        total += rank**-alpha
+        cumulative.append(total)
+    perm = list(range(shared_lines))
+    common.shuffle(perm)
+    rnd = _shared_rng(shared_seed, seed).random
+    bisect_left = bisect.bisect_left
+    while True:
+        gap, addr = next(private)
+        if rnd() < fraction:
+            rank = bisect_left(cumulative, rnd() * total)
+            addr = shared_base + perm[rank]
+        yield gap, addr
+
+
+def migratory_stream(
+    private: Iterator[TracePair],
+    shared_base: int,
+    shared_lines: int,
+    fraction: float,
+    window: int,
+    core: int,
+    num_cores: int,
+    shared_seed: int,
+    seed: int,
+) -> Iterator[TracePair]:
+    """Shared lines whose ownership migrates between cores over time.
+
+    Cores take turns in round-robin windows of ``window`` accesses
+    (counted per core): inside its window a core sweeps the shared
+    region with probability ``min(1, fraction * num_cores)``, outside
+    it almost never touches it -- so over the run the whole shared set
+    is handed from partition to partition.  The sweep position
+    persists across a core's windows, so successive owners re-touch
+    the same lines.
+    """
+    if shared_lines <= 0:
+        raise ValueError("shared_lines must be positive")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    rnd = _shared_rng(shared_seed, seed).random
+    boost = min(1.0, fraction * max(1, num_cores))
+    cores = max(1, num_cores)
+    pos = (core * shared_lines) // cores
+    n = 0
+    while True:
+        gap, addr = next(private)
+        mine = (n // window) % cores == core
+        n += 1
+        if mine and rnd() < boost:
+            addr = shared_base + pos
+            pos += 1
+            if pos >= shared_lines:
+                pos = 0
+        yield gap, addr
 
 
 def phased_stream(

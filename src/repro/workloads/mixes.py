@@ -12,12 +12,13 @@ Mix names follow the paper's convention: category letters sorted
 
 from __future__ import annotations
 
+import difflib
 import random
 import zlib
 from dataclasses import dataclass
 from itertools import combinations_with_replacement
 
-from repro.workloads.apps import APPS, CATEGORIES, AppSpec
+from repro.workloads.apps import APPS, CATEGORIES, AppSpec, SharedRegionSpec
 
 #: Order the paper uses in mix names (streaming first, e.g. "sftn1").
 CATEGORY_ORDER = "sftn"
@@ -25,20 +26,42 @@ CATEGORY_ORDER = "sftn"
 
 @dataclass(frozen=True)
 class Mix:
-    """One multiprogrammed workload: an app per core."""
+    """One workload: an app per core, optionally sharing a region.
+
+    Without ``shared``, every core gets a disjoint address space (the
+    paper's multiprogrammed setup).  With a
+    :class:`~repro.workloads.apps.SharedRegionSpec`, each core's
+    stream redirects a fraction of its accesses into one region that
+    overlaps the same line addresses on every core -- a multi-threaded
+    workload where the requesting core and the line's first-touch
+    owner genuinely diverge.
+    """
 
     name: str
     class_letters: str
     apps: tuple[AppSpec, ...]
+    shared: SharedRegionSpec | None = None
 
     @property
     def num_cores(self) -> int:
         return len(self.apps)
 
     def trace_factories(self, seed: int = 0):
-        """Per-core trace factories with disjoint address spaces."""
+        """Per-core trace factories: disjoint address spaces, plus the
+        mix's shared region (if any) overlaid on every core."""
+        num_cores = self.num_cores
+        # The shared region lives above every core's private space so
+        # it can never alias a private line.
+        shared_base = num_cores << 44
         return [
-            app.trace_factory(base=core << 44, seed=seed * 1000 + core)
+            app.trace_factory(
+                base=core << 44,
+                seed=seed * 1000 + core,
+                shared=self.shared,
+                core=core,
+                num_cores=num_cores,
+                shared_base=shared_base,
+            )
             for core, app in enumerate(self.apps)
         ]
 
@@ -61,6 +84,15 @@ def make_mix(
     ``apps_per_slot`` is 1 for 4-core mixes and 8 for 32-core mixes
     (the paper's "8 randomly chosen workloads per category").
     """
+    for letter in class_letters:
+        if letter not in CATEGORIES:
+            valid = "".join(sorted(CATEGORIES))
+            close = difflib.get_close_matches(class_letters, mix_classes(), n=3)
+            hint = f"; close matches: {', '.join(close)}" if close else ""
+            raise ValueError(
+                f"unknown category letter {letter!r} in mix class "
+                f"{class_letters!r} (valid letters: {valid}){hint}"
+            )
     # zlib.crc32, not hash(): string hashing is salted per process and
     # would make mixes irreproducible across runs.
     class_key = zlib.crc32(class_letters.encode()) & 0xFFFF
@@ -74,6 +106,29 @@ def make_mix(
         name=f"{class_letters}{mix_index}",
         class_letters=class_letters,
         apps=tuple(apps),
+    )
+
+
+def make_shared_mix(
+    class_letters: str,
+    mix_index: int,
+    shared: SharedRegionSpec,
+    apps_per_slot: int = 1,
+    seed: int = 0,
+) -> Mix:
+    """The same sampled mix as :func:`make_mix`, with a shared region
+    overlaid on every core.
+
+    The name records the sharing shape and fraction
+    (``sftn1+producer-consumer@0.3``) so sweeps over the shared
+    fraction stay tellable apart in tables and result files.
+    """
+    base = make_mix(class_letters, mix_index, apps_per_slot, seed)
+    return Mix(
+        name=f"{base.name}+{shared.kind}@{shared.fraction:g}",
+        class_letters=base.class_letters,
+        apps=base.apps,
+        shared=shared,
     )
 
 

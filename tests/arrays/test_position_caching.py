@@ -67,3 +67,110 @@ class TestSetAssocIndexCache:
             set_index = array.set_index(addr)
             for slot in array.positions(addr):
                 assert slot // 16 == set_index
+
+
+class TestMemoFlushBoundary:
+    """The wholesale flush fires exactly at ``max(4 * lines, 2**16)``:
+    the memo holds precisely cap entries, and the insert *after* the
+    cap is reached clears it down to the single fresh entry."""
+
+    def test_cap_formula_tracks_large_arrays(self):
+        # Small arrays floor at 2**16; past 16k lines the 4x term wins.
+        assert SetAssociativeArray(64, 4, seed=1)._index_cache_cap == 1 << 16
+        assert (
+            SetAssociativeArray(32768, 16, seed=1)._index_cache_cap
+            == 4 * 32768
+        )
+        assert SkewAssociativeArray(64, 4, seed=1)._position_cache_cap == 1 << 16
+        assert (
+            SkewAssociativeArray(32768, 4, seed=1)._position_cache_cap
+            == 4 * 32768
+        )
+
+    def test_index_cache_flushes_exactly_at_cap(self):
+        array = SetAssociativeArray(64, 4, hashed=True, seed=23)
+        # The memo is pooled across same-identity arrays; start clean
+        # so the fill count below is exact.
+        array._index_cache.clear()
+        cap = array._index_cache_cap
+        for addr in range(cap):
+            array.set_index(addr)
+        assert len(array._index_cache) == cap
+        # A hit at the cap must not flush (the guard sits on the miss
+        # path only).
+        array.set_index(0)
+        assert len(array._index_cache) == cap
+        # The first *miss* at the cap clears wholesale, then re-seeds.
+        array.set_index(cap)
+        assert array._index_cache == {cap: array._hash(cap)}
+
+    def test_position_cache_flushes_exactly_at_cap(self):
+        array = SkewAssociativeArray(64, 4, seed=29)
+        array._position_cache.clear()
+        cap = array._position_cache_cap
+        for addr in range(cap):
+            array.positions(addr)
+        assert len(array._position_cache) == cap
+        array.positions(0)
+        assert len(array._position_cache) == cap
+        array.positions(cap)
+        assert len(array._position_cache) == 1
+        assert cap in array._position_cache
+
+
+class TestPositionsInto:
+    """``positions_into`` must agree with ``positions`` on every path:
+    memo hit, memo miss, and across the wholesale flush."""
+
+    def _check(self, array, addrs):
+        buf = [0] * array.num_ways
+        for addr in addrs:
+            n = array.positions_into(addr, buf)
+            assert tuple(buf[:n]) == array.positions(addr)
+
+    def test_set_assoc_agrees(self):
+        array = SetAssociativeArray(256, 4, hashed=True, seed=31)
+        self._check(array, range(300))
+
+    def test_skew_cold_and_warm_paths_agree(self):
+        array = SkewAssociativeArray(256, 4, seed=37)
+        array._position_cache.clear()
+        buf = [0] * 4
+        for addr in range(100):
+            # Cold: positions_into computes without memoising...
+            n = array.positions_into(addr, buf)
+            cold = tuple(buf[:n])
+            assert addr not in array._position_cache
+            # ...then positions memoises, and the warm path agrees.
+            assert array.positions(addr) == cold
+            n = array.positions_into(addr, buf)
+            assert tuple(buf[:n]) == cold
+
+    def test_zcache_agrees(self):
+        array = ZCacheArray(256, 4, candidates_per_miss=16, seed=41)
+        self._check(array, range(300))
+
+    def test_agrees_across_the_flush(self):
+        array = SkewAssociativeArray(64, 4, seed=43)
+        array._position_cache.clear()
+        cap = array._position_cache_cap
+        probes = (0, 1, cap - 1, cap, cap + 1)
+        buf = [0] * 4
+        before = {}
+        for addr in probes:
+            n = array.positions_into(addr, buf)
+            before[addr] = tuple(buf[:n])
+        for addr in range(cap + 1):  # drives the memo through a flush
+            array.positions(addr)
+        assert len(array._position_cache) == 1
+        for addr in probes:
+            n = array.positions_into(addr, buf)
+            assert tuple(buf[:n]) == before[addr]
+            assert array.positions(addr) == before[addr]
+
+    def test_buffer_tail_untouched(self):
+        array = SetAssociativeArray(256, 4, hashed=True, seed=47)
+        buf = [0] * 4 + [-7, -7]
+        n = array.positions_into(5, buf)
+        assert n == 4
+        assert buf[4:] == [-7, -7]

@@ -13,6 +13,7 @@ from repro.harness.bench import (
     _run_once,
     bench_kernel,
     compare_reports,
+    update_history,
 )
 
 
@@ -115,3 +116,85 @@ class TestCompareReports:
             kernels=[{"scheme": "vantage-z4/52", "speedup": 8.2}]
         )
         assert compare_reports(current, _report(), tolerance=0.05)
+
+
+class TestUpdateHistory:
+    def _history(self, tmp_path):
+        return tmp_path / "history.json"
+
+    def _load(self, path):
+        import json
+
+        return json.loads(path.read_text())
+
+    def test_first_entry_has_no_baseline(self, tmp_path):
+        path = self._history(tmp_path)
+        regressions, compared = update_history(_report(), path)
+        assert (regressions, compared) == ([], 0)
+        assert len(self._load(path)) == 1
+
+    def test_gates_against_best_of_window(self, tmp_path):
+        path = self._history(tmp_path)
+        # Two prior runs: one fast, one slow.  The gate must use the
+        # fast one, so a middling current run regresses.
+        update_history(_report(), path)
+        update_history(
+            _report(kernels=[{"scheme": "vantage-z4/52", "speedup": 4.0}]),
+            path,
+        )
+        current = _report(
+            kernels=[{"scheme": "vantage-z4/52", "speedup": 7.0}]
+        )
+        regressions, compared = update_history(current, path)
+        assert compared == 2
+        assert len(regressions) == 1
+        assert "vantage-z4/52" in regressions[0]
+        # Appended despite the regression.
+        assert len(self._load(path)) == 3
+
+    def test_window_limits_the_baseline(self, tmp_path):
+        path = self._history(tmp_path)
+        update_history(_report(), path)  # the only fast run
+        slow = _report(kernels=[{"scheme": "vantage-z4/52", "speedup": 4.0}])
+        for _ in range(3):
+            update_history(slow, path)
+        # window=3 excludes the fast first entry: 4.0 passes.
+        regressions, compared = update_history(dict(slow), path, window=3)
+        assert (regressions, compared) == ([], 3)
+
+    def test_smoke_runs_recorded_but_not_gated(self, tmp_path):
+        path = self._history(tmp_path)
+        update_history(_report(), path)
+        smoke = _report(
+            smoke=True,
+            kernels=[{"scheme": "vantage-z4/52", "speedup": 0.1}],
+        )
+        # A smoke report is never compared...
+        assert update_history(smoke, path) == ([], 0)
+        # ...and never becomes part of anyone's baseline.
+        regressions, compared = update_history(_report(), path)
+        assert (regressions, compared) == ([], 1)
+        assert [e["smoke"] for e in self._load(path)] == [False, True, False]
+
+    def test_entries_are_slimmed(self, tmp_path):
+        path = self._history(tmp_path)
+        report = _report()
+        report["kernels"][0]["identical"] = True
+        report["kernels"][0]["optimized_peak_kib"] = 123.0
+        report["batch"]["identical"] = True
+        update_history(report, path)
+        entry = self._load(path)[0]
+        row = entry["kernels"][0]
+        assert row["scheme"] == "vantage-z4/52"
+        assert "identical" not in row
+        assert "optimized_peak_kib" not in row
+        assert "identical" not in entry["batch"]
+        assert "unix_time" in entry
+
+    def test_rejects_non_list_history(self, tmp_path):
+        import pytest
+
+        path = self._history(tmp_path)
+        path.write_text('{"tag": "local"}')
+        with pytest.raises(ValueError, match="bench history"):
+            update_history(_report(), path)

@@ -161,6 +161,167 @@ class TestBenchCompare:
         assert "[" in out
 
 
+class TestUnknownNames:
+    """Misspelled mix/scheme names exit 1 with a hint, no traceback."""
+
+    def test_run_mix_unknown_scheme(self, capsys):
+        assert main(["run-mix", "--scheme", "vantge-z4/52"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error: unknown scheme")
+        assert "did you mean" in out
+        assert "vantage" in out
+
+    def test_run_mix_unknown_mix_class(self, capsys):
+        assert main(["run-mix", "--mix-class", "sftm"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error:")
+        assert "close matches" in out
+        assert "sftn" in out
+
+    def test_submit_unknown_scheme_fails_before_connecting(self, capsys):
+        # No daemon is running; a pre-validation failure must exit
+        # before the client ever tries the socket.
+        assert main(["submit", "--scheme", "vantge-z4/52"]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("error: unknown scheme")
+        assert "did you mean" in out
+
+
+class TestBenchHistory:
+    """``repro bench --history`` appends runs and gates against the
+    best recent entry.  ``run_bench`` is stubbed as in
+    ``TestBenchCompare``; ``update_history`` itself runs for real."""
+
+    def _stub_bench(self, monkeypatch, speedup=9.0):
+        import repro.harness.bench as bench
+
+        report = {
+            "tag": "local",
+            "smoke": False,
+            "kernels": [
+                {
+                    "scheme": "vantage-z4/52",
+                    "partitioned": True,
+                    "instructions": 1000,
+                    "optimized_s": 1.0,
+                    "reference_s": speedup,
+                    "speedup": speedup,
+                }
+            ],
+            "batch": {
+                "scheme": "vantage-z4/52",
+                "speedup": 2.0,
+                "batch_on_s": 0.5,
+                "batch_off_s": 1.0,
+            },
+        }
+        monkeypatch.setattr(bench, "run_bench", lambda **kw: dict(report))
+
+    def _entries(self, path):
+        import json
+
+        return json.loads(path.read_text())
+
+    def test_first_run_seeds_the_history(self, capsys, monkeypatch, tmp_path):
+        self._stub_bench(monkeypatch)
+        history = tmp_path / "history.json"
+        assert main(["bench", "--smoke", "--history", str(history)]) == 0
+        assert "appended to" in capsys.readouterr().out
+        entries = self._entries(history)
+        assert len(entries) == 1
+        assert entries[0]["kernels"][0]["speedup"] == 9.0
+        # Entries are slimmed: raw timings kept, peak-memory and
+        # identical flags dropped.
+        assert "identical" not in entries[0]["kernels"][0]
+
+    def test_steady_speedup_accumulates(self, capsys, monkeypatch, tmp_path):
+        self._stub_bench(monkeypatch)
+        history = tmp_path / "history.json"
+        for _ in range(3):
+            assert main(["bench", "--smoke", "--history", str(history)]) == 0
+        assert len(self._entries(history)) == 3
+
+    def test_regression_vs_best_of_window_exits_nonzero(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        history = tmp_path / "history.json"
+        self._stub_bench(monkeypatch, speedup=9.0)
+        assert main(["bench", "--smoke", "--history", str(history)]) == 0
+        capsys.readouterr()
+        self._stub_bench(monkeypatch, speedup=5.0)
+        assert main(["bench", "--smoke", "--history", str(history)]) == 1
+        out = capsys.readouterr().out
+        assert "speedup regressions vs best of last 1" in out
+        # The slow run is still recorded.
+        assert len(self._entries(history)) == 2
+
+    def test_smoke_entries_are_recorded_but_never_compared(
+        self, monkeypatch, tmp_path
+    ):
+        import json
+
+        history = tmp_path / "history.json"
+        history.write_text(
+            json.dumps(
+                [
+                    {
+                        "tag": "ci",
+                        "smoke": True,
+                        "kernels": [
+                            {"scheme": "vantage-z4/52", "speedup": 99.0}
+                        ],
+                    }
+                ]
+            )
+        )
+        self._stub_bench(monkeypatch, speedup=5.0)
+        # The only prior entry is a smoke run: no baseline, no gate.
+        assert main(["bench", "--smoke", "--history", str(history)]) == 0
+        assert len(self._entries(history)) == 2
+
+    def test_window_forgives_old_peaks(self, monkeypatch, tmp_path):
+        import json
+
+        history = tmp_path / "history.json"
+        # One ancient fast run followed by five slow ones: the fast
+        # run has aged out of the 5-entry window, so a matching slow
+        # run passes.
+        entries = [
+            {
+                "tag": "old",
+                "smoke": False,
+                "kernels": [{"scheme": "vantage-z4/52", "speedup": 50.0}],
+            }
+        ]
+        entries += [
+            {
+                "tag": f"run{i}",
+                "smoke": False,
+                "kernels": [{"scheme": "vantage-z4/52", "speedup": 5.0}],
+            }
+            for i in range(5)
+        ]
+        history.write_text(json.dumps(entries))
+        self._stub_bench(monkeypatch, speedup=5.0)
+        assert main(["bench", "--smoke", "--history", str(history)]) == 0
+
+    def test_corrupt_history_fails_before_bench_runs(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        import repro.harness.bench as bench
+
+        def _boom(**kw):
+            raise AssertionError(
+                "bench must not run when the history is unreadable"
+            )
+
+        monkeypatch.setattr(bench, "run_bench", _boom)
+        history = tmp_path / "history.json"
+        history.write_text('{"not": "a list"}')
+        assert main(["bench", "--history", str(history)]) == 1
+        assert "not a bench history" in capsys.readouterr().out
+
+
 class TestInterrupts:
     """Ctrl-C and SIGTERM exit with distinct codes, no tracebacks."""
 

@@ -24,7 +24,7 @@ import pytest
 from repro import telemetry
 from repro.harness.runner import run_mix
 from repro.sim import small_system
-from repro.workloads import make_mix
+from repro.workloads import SharedRegionSpec, make_mix, make_shared_mix
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 
@@ -36,17 +36,23 @@ INSTRUCTIONS = 8_000
 
 SCHEMES = ["vantage-z4/52", "waypart-sa16", "pipp-sa64", "drrip-z4/16"]
 
+#: Pinned shared-region overlay for the reuse-aware golden tree.
+SHARED_SPEC = SharedRegionSpec(kind="shared-table", lines=512, fraction=0.35)
+
 
 def _golden_path(scheme: str) -> Path:
     return GOLDEN_DIR / f"stats_{scheme.replace('/', '_')}.json"
 
 
-def _run_snapshot(scheme: str) -> dict:
+def _run_snapshot(scheme: str, shared: bool = False) -> dict:
     prev = telemetry.enabled()
     try:
         telemetry.set_enabled(True)
         config = small_system()
-        mix = make_mix(MIX_CLASS, MIX_INDEX)
+        if shared:
+            mix = make_shared_mix(MIX_CLASS, MIX_INDEX, SHARED_SPEC)
+        else:
+            mix = make_mix(MIX_CLASS, MIX_INDEX)
         run = run_mix(mix, scheme, config, INSTRUCTIONS, seed=SEED)
     finally:
         telemetry.set_enabled(prev)
@@ -58,6 +64,26 @@ def _run_snapshot(scheme: str) -> dict:
 @pytest.mark.parametrize("scheme", SCHEMES)
 def test_stats_tree_matches_golden(scheme):
     snapshot = _run_snapshot(scheme)
+    path = _golden_path(scheme)
+    if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    golden = json.loads(path.read_text())
+    assert snapshot == golden, (
+        f"stats tree for {scheme} diverged from {path.name}; if the "
+        f"change is intentional, regenerate with REPRO_REGEN_GOLDEN=1"
+    )
+
+
+def test_reuse_aware_stats_tree_matches_golden():
+    """The reuse-aware scheme on the pinned shared mix: covers the
+    sharing stats group, the shared-hit counters and the reuse-aware
+    policy's classification telemetry in one snapshot."""
+    scheme = "reuse-aware-z4/52"
+    snapshot = _run_snapshot(scheme, shared=True)
+    sharing = snapshot["cache"]["sharing"]
+    assert sharing["policy"] == "migrate-to-requester"
+    assert sum(sharing["shared_hits"]) > 0
     path = _golden_path(scheme)
     if os.environ.get("REPRO_REGEN_GOLDEN") == "1":
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,223 @@
+"""Cross-path parity on shared-address mixes.
+
+Shared-region workloads are the one place where an access's requesting
+core and the line's owning partition diverge, which activates code that
+is dormant on every multiprogrammed mix: the per-line ``touched_by``
+bitmask, the on-shared-hit policies (keep-owner / migrate-to-requester
+/ promote-to-shared), Vantage's unmanaged parking for promoted lines,
+and the reuse-aware UCP stack.  All of it is replicated across the
+object, fused and batch execution paths, so the same flag-cube
+guarantee that covers private mixes must hold here:
+
+* randomized ``REPRO_BATCH`` x ``REPRO_FUSED`` x ``REPRO_TRACE_CHUNKS``
+  x ``REPRO_NUMPY`` points on the ``reuse-aware`` scheme, for every
+  sharing shape,
+* every shared-hit policy on every scheme family, object vs fused vs
+  batch,
+* the vectorized lane declining (not engaging incorrectly) when
+  shared-hit bookkeeping is on.
+"""
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.arrays import SetAssociativeArray, ZCacheArray
+from repro.core import VantageCache
+from repro.harness.runner import run_mix
+from repro.harness.schemes import default_vantage_config
+from repro.partitioning import BaselineCache, PIPPCache, WayPartitionedCache
+from repro.replacement import make_policy
+from repro.sim import CMPSystem
+from repro.sim.configs import small_system
+from repro.workloads import SharedRegionSpec, make_shared_mix
+
+INSTRUCTIONS = 6_000
+
+#: Short epoch so the reuse-aware policy actually repartitions mid-run
+#: (splitting batched segments at service boundaries).
+EPOCH_CYCLES = 20_000
+
+FLAG_NAMES = ("REPRO_BATCH", "REPRO_FUSED", "REPRO_TRACE_CHUNKS", "REPRO_NUMPY")
+
+KINDS = ("producer-consumer", "shared-table", "migratory")
+
+
+def _clear_flags(monkeypatch):
+    for name in FLAG_NAMES:
+        monkeypatch.delenv(name, raising=False)
+
+
+def _shared_spec(kind, fraction=0.3):
+    # A short ownership window: the default 2000 per-core accesses
+    # exceeds what a 6000-instruction run issues, so migratory lines
+    # would never change hands.
+    return SharedRegionSpec(kind=kind, lines=512, fraction=fraction, window=100)
+
+
+def _strip_chunks(stats):
+    stats.get("sim", {}).pop("trace_chunks", None)
+    return stats
+
+
+# -- reuse-aware scheme through the full harness ------------------------
+
+
+def _draw_flag_combos():
+    """Random points in the flag cube per sharing shape; the draw is
+    seeded so failures reproduce."""
+    rng = random.Random(0x5AAED)
+    combos = []
+    for kind in KINDS:
+        for _ in range(3):
+            flags = {name: rng.choice(("0", "1")) for name in FLAG_NAMES}
+            combos.append((kind, rng.randrange(1000), tuple(sorted(flags.items()))))
+    return combos
+
+
+@pytest.mark.parametrize("kind,seed,flags", _draw_flag_combos())
+def test_reuse_aware_flag_cube(monkeypatch, kind, seed, flags):
+    """Every flag-cube point is the same simulation on shared mixes."""
+    mix = make_shared_mix("sftn", 1, _shared_spec(kind))
+    config = small_system(epoch_cycles=EPOCH_CYCLES)
+
+    _clear_flags(monkeypatch)
+    baseline = run_mix(mix, "reuse-aware-z4/52", config, INSTRUCTIONS, seed=seed)
+    # The mix must genuinely exercise the shared-hit machinery,
+    # otherwise this parametrization proves nothing.
+    assert sum(baseline.cache.shared_hits) > 0
+
+    for name, value in flags:
+        monkeypatch.setenv(name, value)
+    variant = run_mix(mix, "reuse-aware-z4/52", config, INSTRUCTIONS, seed=seed)
+
+    assert variant.result == baseline.result
+    assert _strip_chunks(variant.stats()) == _strip_chunks(baseline.stats())
+
+
+def test_reuse_aware_classification_is_live(monkeypatch):
+    """The reuse-aware policy must classify sampled shared reuse (not
+    silently degenerate to plain UCP) and migrate ownership."""
+    mix = make_shared_mix("sftn", 1, _shared_spec("shared-table", fraction=0.35))
+    config = small_system(epoch_cycles=EPOCH_CYCLES)
+
+    _clear_flags(monkeypatch)
+    out = run_mix(mix, "reuse-aware-z4/52", config, INSTRUCTIONS, seed=0)
+    policy = out.system.policy
+    assert sum(policy.shared_observed) > 0
+    assert sum(m.shared_accesses for m in policy.monitors) > 0
+    assert sum(out.cache.shared_moves) > 0
+    sharing = out.stats()["cache"]["sharing"]
+    assert sharing["multi_touched_lines"] > 0
+
+
+def test_existing_schemes_ignore_shared_mixes(monkeypatch):
+    """A non-sharing scheme on a shared mix keeps the machinery off:
+    no sharing stats group, no shared counters, batch kernels engaged."""
+    mix = make_shared_mix("sftn", 1, _shared_spec("producer-consumer"))
+    config = small_system()
+
+    _clear_flags(monkeypatch)
+    out = run_mix(mix, "vantage-z4/52", config, INSTRUCTIONS, seed=3)
+    assert out.cache._shared_code == 0
+    assert sum(out.cache.shared_hits) == 0
+    assert "sharing" not in out.stats()["cache"]
+    assert out.system.batch_calls > 0
+
+
+# -- every shared-hit policy on every scheme family ---------------------
+
+FAMILIES = ("vantage", "waypart", "pipp", "lru")
+POLICIES = ("keep-owner", "migrate-to-requester", "promote-to-shared")
+
+
+def _build_shared_cache(family, policy_name, lines, cores, seed):
+    if family == "vantage":
+        array = ZCacheArray(lines, num_ways=4, candidates_per_miss=52, seed=seed)
+        return VantageCache(
+            array, cores, default_vantage_config(array), shared_policy=policy_name
+        )
+    array = SetAssociativeArray(lines, 16, hashed=True, seed=seed)
+    if family == "waypart":
+        return WayPartitionedCache(array, cores, shared_policy=policy_name)
+    if family == "pipp":
+        return PIPPCache(array, cores, seed=seed, shared_policy=policy_name)
+    return BaselineCache(
+        array, make_policy("lru", lines), cores, shared_policy=policy_name
+    )
+
+
+def _run_direct(family, policy_name, flags, monkeypatch, seed):
+    _clear_flags(monkeypatch)
+    for name, value in flags.items():
+        monkeypatch.setenv(name, value)
+    config = small_system()
+    # The shared table makes the same lines hot on every core, so
+    # cross-core re-touches are guaranteed even in a short run.
+    mix = make_shared_mix("sftn", 2, _shared_spec("shared-table", fraction=0.35))
+    cache = _build_shared_cache(
+        family, policy_name, config.l2_lines, config.num_cores, seed
+    )
+    system = CMPSystem(cache, mix.trace_factories(seed), config)
+    tree = telemetry.system_tree(cache=cache, system=system, policy=None)
+    result = system.run(INSTRUCTIONS)
+    return result, _strip_chunks(tree.snapshot()), cache
+
+
+@pytest.mark.parametrize("policy_name", POLICIES)
+@pytest.mark.parametrize("family", FAMILIES)
+def test_shared_policy_paths_agree(monkeypatch, family, policy_name):
+    """Object vs fused vs batch, for each (scheme family, policy)."""
+    object_path = {"REPRO_FUSED": "0", "REPRO_BATCH": "0"}
+    base_result, base_stats, base_cache = _run_direct(
+        family, policy_name, object_path, monkeypatch, seed=9
+    )
+    assert sum(base_cache.shared_hits) > 0
+    if policy_name == "migrate-to-requester":
+        assert sum(base_cache.shared_moves) > 0
+
+    for flags in ({"REPRO_BATCH": "0"}, {}):
+        result, stats, _cache = _run_direct(
+            family, policy_name, flags, monkeypatch, seed=9
+        )
+        assert result == base_result
+        assert stats == base_stats
+
+
+def test_promote_to_shared_parks_in_unmanaged(monkeypatch):
+    """Vantage's promote-to-shared moves reused shared lines into the
+    unmanaged region instead of flipping ownership."""
+    _clear_flags(monkeypatch)
+    result, stats, cache = _run_direct(
+        "vantage", "promote-to-shared", {}, monkeypatch, seed=9
+    )
+    assert sum(cache.shared_moves) > 0
+    # Parked lines are no longer charged to any partition.
+    assert cache.unmanaged_size > 0
+
+
+# -- the vectorized lane declines under sharing -------------------------
+
+numpy = pytest.importorskip("numpy")
+
+
+def test_numpy_lane_declines_when_sharing(monkeypatch):
+    """Single-core sa-LRU is inside the vectorized envelope, but the
+    lane does not vectorize ``touched_by`` stamps: with a shared-hit
+    policy configured it must fall back to the scalar batch kernel."""
+    config = small_system(num_cores=1)
+    mix = make_shared_mix("sftn", 1, _shared_spec("producer-consumer"))
+    lines = config.l2_lines
+
+    _clear_flags(monkeypatch)
+    monkeypatch.setenv("REPRO_NUMPY", "1")
+    cache = BaselineCache(
+        SetAssociativeArray(lines, 16, hashed=True, seed=3),
+        make_policy("lru", lines),
+        1,
+        shared_policy="keep-owner",
+    )
+    system = CMPSystem(cache, [mix.trace_factories(7)[0]], config)
+    system.run(INSTRUCTIONS)
+    assert system.batch_kind == "python"

@@ -134,6 +134,29 @@ class TestResults:
             fraction = serial.cache.managed_eviction_fraction()
         assert outcome.managed_eviction_fraction == fraction
 
+    def test_shared_mix_job_round_trips_through_daemon(self, daemon):
+        """Shared-region mixes (and the reuse-aware scheme) survive the
+        pickle across the worker fork and dedupe/cache keying: the
+        daemon's outcome is bitwise-identical to a serial run."""
+        from repro.workloads import SharedRegionSpec, make_shared_mix
+
+        spec = SharedRegionSpec(
+            kind="producer-consumer", lines=512, fraction=0.3
+        )
+        job = SimJob(
+            make_shared_mix("sftn", 1, spec),
+            "reuse-aware-z4/52",
+            small_system(),
+            INSTRUCTIONS,
+            seed=5,
+        )
+        with daemon.client() as svc:
+            outcome = svc.submit(job)
+        serial = run_mix(
+            job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+        )
+        assert outcome.result == serial.result
+
     def test_second_submission_served_from_results_cache(self, daemon):
         job = _job(seed=4)
         with daemon.client() as svc:

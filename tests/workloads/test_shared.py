@@ -1,0 +1,183 @@
+"""Tests for shared-region specs, generators and mixes."""
+
+import pytest
+
+from repro.workloads import (
+    SharedRegionSpec,
+    loop_stream,
+    make_mix,
+    make_shared_mix,
+    migratory_stream,
+    producer_consumer_stream,
+    shared_table_stream,
+)
+
+SHARED_BASE = 1 << 40
+LINES = 64
+
+
+def take(gen, n):
+    return [next(gen) for _ in range(n)]
+
+
+def _private(base=0, seed=1):
+    return loop_stream(1000, 0, base=base, seed=seed)
+
+
+def _shared_addrs(pairs):
+    return [a - SHARED_BASE for _, a in pairs if a >= SHARED_BASE]
+
+
+class TestSharedRegionSpec:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown shared-region kind"):
+            SharedRegionSpec(kind="broadcast", lines=64, fraction=0.2)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            SharedRegionSpec(kind="migratory", lines=64, fraction=1.5)
+
+    def test_bad_lines(self):
+        with pytest.raises(ValueError, match="line count"):
+            SharedRegionSpec(kind="shared-table", lines=0, fraction=0.2)
+
+    def test_trace_kind_distinct_from_private_kinds(self):
+        spec = SharedRegionSpec(kind="producer-consumer", lines=64, fraction=0.2)
+        assert spec.trace_kind == "pc-shared"
+
+
+class TestProducerConsumer:
+    def test_deterministic(self):
+        def build():
+            return producer_consumer_stream(
+                _private(), SHARED_BASE, LINES, 0.5, core=1, num_cores=4,
+                shared_seed=3, seed=1,
+            )
+
+        assert take(build(), 200) == take(build(), 200)
+
+    def test_cores_sweep_same_ring_phase_shifted(self):
+        """Every core walks the same ring; core c starts lines/cores
+        further along, so trailing cores re-touch the leader's lines."""
+        per_core = []
+        for core in range(4):
+            gen = producer_consumer_stream(
+                _private(seed=core), SHARED_BASE, LINES, 1.0, core=core,
+                num_cores=4, shared_seed=3, seed=core,
+            )
+            per_core.append(_shared_addrs(take(gen, 32)))
+        for core, addrs in enumerate(per_core):
+            start = core * LINES // 4
+            assert addrs == [(start + i) % LINES for i in range(32)]
+
+    def test_fraction_controls_redirection(self):
+        gen = producer_consumer_stream(
+            _private(), SHARED_BASE, LINES, 0.25, core=0, num_cores=4,
+            shared_seed=3, seed=1,
+        )
+        pairs = take(gen, 4000)
+        share = len(_shared_addrs(pairs)) / len(pairs)
+        assert 0.2 < share < 0.3
+
+    def test_gaps_come_from_private_stream(self):
+        """Redirection substitutes the address only; timing is the
+        private stream's."""
+        private_pairs = take(_private(seed=9), 100)
+        gen = producer_consumer_stream(
+            iter(private_pairs), SHARED_BASE, LINES, 1.0, core=0,
+            num_cores=4, shared_seed=3, seed=9,
+        )
+        pairs = take(gen, 100)
+        assert [g for g, _ in pairs] == [g for g, _ in private_pairs]
+
+
+class TestSharedTable:
+    def test_same_hot_lines_on_every_core(self):
+        """Popularity derives from the shared seed alone, so every
+        core's most-touched table line is the same line."""
+        hottest = []
+        for core in range(3):
+            gen = shared_table_stream(
+                _private(seed=100 + core), SHARED_BASE, LINES, 1.0, 0.9,
+                core=core, num_cores=3, shared_seed=5, seed=100 + core,
+            )
+            addrs = _shared_addrs(take(gen, 2000))
+            counts = {}
+            for a in addrs:
+                counts[a] = counts.get(a, 0) + 1
+            hottest.append(max(counts, key=counts.get))
+        assert len(set(hottest)) == 1
+
+    def test_addresses_within_region(self):
+        gen = shared_table_stream(
+            _private(), SHARED_BASE, LINES, 0.6, 0.9, core=0, num_cores=2,
+            shared_seed=5, seed=1,
+        )
+        for addr in _shared_addrs(take(gen, 1000)):
+            assert 0 <= addr < LINES
+
+
+class TestMigratory:
+    def test_only_window_owner_touches_region(self):
+        """Outside its round-robin window a core never redirects."""
+        window, cores = 50, 4
+        for core in range(cores):
+            gen = migratory_stream(
+                _private(seed=core), SHARED_BASE, LINES, 0.25, window,
+                core=core, num_cores=cores, shared_seed=7, seed=core,
+            )
+            pairs = take(gen, window * cores)
+            for n, (_, addr) in enumerate(pairs):
+                mine = (n // window) % cores == core
+                if not mine:
+                    assert addr < SHARED_BASE
+
+    def test_sweep_position_persists_across_windows(self):
+        window, cores = 10, 2
+        gen = migratory_stream(
+            _private(), SHARED_BASE, LINES, 0.5, window, core=0,
+            num_cores=cores, shared_seed=7, seed=1,
+        )
+        addrs = _shared_addrs(take(gen, window * cores * 4))
+        # Successive sweeps continue the walk instead of restarting.
+        assert addrs == [i % LINES for i in range(len(addrs))]
+
+
+class TestSharedMixes:
+    SPEC = SharedRegionSpec(kind="producer-consumer", lines=256, fraction=0.3)
+
+    def test_name_records_shape_and_fraction(self):
+        mix = make_shared_mix("sftn", 1, self.SPEC)
+        assert mix.name == "sftn1+producer-consumer@0.3"
+
+    def test_same_apps_as_private_mix(self):
+        private = make_mix("sftn", 1)
+        shared = make_shared_mix("sftn", 1, self.SPEC)
+        assert shared.apps == private.apps
+
+    def test_factories_are_shared_kind_specs(self):
+        mix = make_shared_mix("sftn", 1, self.SPEC)
+        specs = mix.trace_factories(seed=0)
+        assert all(s.kind == "pc-shared" for s in specs)
+        # The shared region sits above every private address space.
+        shared_base = mix.num_cores << 44
+        assert all(s.params[2] == shared_base for s in specs)
+
+    def test_trace_keys_never_collide(self):
+        """Private vs shared variants of the same app, and the same
+        shared app on different cores, compile to distinct chunks."""
+        private = make_mix("sftn", 1).trace_factories(seed=0)
+        shared = make_shared_mix("sftn", 1, self.SPEC).trace_factories(seed=0)
+        other_fraction = make_shared_mix(
+            "sftn",
+            1,
+            SharedRegionSpec(kind="producer-consumer", lines=256, fraction=0.5),
+        ).trace_factories(seed=0)
+        keys = [s.key(4096) for s in private + shared + other_fraction]
+        assert len(set(keys)) == len(keys)
+
+    def test_shared_generator_matches_spec_replay(self):
+        """The TraceSpec round-trip reproduces the wrapped stream."""
+        mix = make_shared_mix("sftn", 2, self.SPEC)
+        spec = mix.trace_factories(seed=3)[1]
+        assert take(spec(), 300) == take(spec.generator(), 300)
