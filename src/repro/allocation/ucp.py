@@ -16,6 +16,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+try:  # pragma: no cover - exercised indirectly via lookahead_allocate
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 
 def lookahead_allocate(
     curves: Sequence[Sequence[float]],
@@ -42,10 +47,31 @@ def lookahead_allocate(
     alloc = [min_units] * n
     balance = total_units - min_units * n
 
+    # The windowed scan is the allocator's hot loop (up to
+    # ``total_units`` candidate windows per partition per round).  The
+    # vectorized variant computes the identical IEEE expression
+    # ``(misses(a) - misses(a+k)) / k`` -- true division, no
+    # reciprocal-multiply -- and ``argmax`` returns the first maximum,
+    # matching the scalar loop's strict ``>`` update, so allocations
+    # are bitwise-identical on both paths (the kernel parity suites
+    # assert as much).
+    np_curves = ks = None
+    if _np is not None:
+        np_curves = [_np.asarray(curve, dtype=_np.float64) for curve in curves]
+        ks = _np.arange(1.0, total_units + 1.0)
+
     def best_window(p: int, limit: int) -> tuple[float, int]:
         """Best marginal utility per unit for partition p, looking
         ahead at most `limit` units."""
         a = alloc[p]
+        if np_curves is not None:
+            curve = np_curves[p]
+            r = (curve[a] - curve[a + 1 : a + limit + 1]) / ks[:limit]
+            k = int(r.argmax())
+            rate = float(r[k])
+            if rate > 0.0:
+                return rate, k + 1
+            return 0.0, 0
         misses_now = curves[p][a]
         curve = curves[p]
         rate, k_best = 0.0, 0

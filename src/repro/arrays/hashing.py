@@ -13,6 +13,11 @@ from __future__ import annotations
 
 import random
 
+try:  # pragma: no cover - exercised via the gated bulk path
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 _KEY_BYTES = 8
 _MASK_BITS = 32
 
@@ -67,6 +72,7 @@ class H3Hash:
                 table.append(h)
             self._tables.append(table)
         self._mask = num_buckets - 1
+        self._np_tables = None
 
     def __call__(self, key: int) -> int:
         t = self._tables
@@ -87,6 +93,25 @@ class H3Hash:
             # XOR of the tables' zero entries keeps h(key) consistent
             # with the full 8-byte evaluation.
             h ^= t[4][0] ^ t[5][0] ^ t[6][0] ^ t[7][0]
+        return h & self._mask
+
+    def bulk(self, keys):
+        """Vectorized ``__call__`` over a numpy int64 key array.
+
+        Always evaluates all eight byte tables: for keys below 2^32
+        the high bytes are zero and index the tables' zero entries --
+        exactly the constant ``__call__``'s short-circuit XORs in --
+        so the results are bit-identical to the scalar path.  Requires
+        numpy (callers gate on availability).
+        """
+        tables = self._np_tables
+        if tables is None:
+            tables = self._np_tables = [
+                _np.asarray(t, dtype=_np.int64) for t in self._tables
+            ]
+        h = tables[0][keys & 0xFF]
+        for b in range(1, _KEY_BYTES):
+            h = h ^ tables[b][(keys >> (8 * b)) & 0xFF]
         return h & self._mask
 
     def __repr__(self) -> str:

@@ -116,7 +116,21 @@ def _cmd_run_mix(args) -> int:
         print(f"error: {err}")
         return 1
     print(f"mix {mix.name}: {[a.name for a in mix.apps]}")
-    run = run_mix(mix, args.scheme, config, args.instructions, seed=args.seed)
+    fastfwd_kwargs = {}
+    if args.fastfwd_report:
+        # Detection-only mode: the fast-forward detector runs and logs
+        # where it *would* trigger, but every access is still simulated
+        # exactly, so the run's numbers are bitwise-identical to a plain
+        # run-mix.
+        fastfwd_kwargs = {"use_fastfwd": True, "fastfwd_tol": 0.0}
+    run = run_mix(
+        mix,
+        args.scheme,
+        config,
+        args.instructions,
+        seed=args.seed,
+        **fastfwd_kwargs,
+    )
     result = run.result
     print(f"scheme {args.scheme}: throughput {result.throughput:.3f}")
     for i, core in enumerate(result.cores):
@@ -126,6 +140,34 @@ def _cmd_run_mix(args) -> int:
         )
     if hasattr(run.cache, "managed_eviction_fraction"):
         print(f"managed-eviction fraction: {run.cache.managed_eviction_fraction():.4f}")
+    if args.fastfwd_report:
+        ff = run.system.fastfwd
+        if ff is None or not ff.enabled:
+            reason = (
+                ff.decline_reason
+                if ff is not None
+                else "fast-forward layer not constructed"
+            )
+            print(f"fast-forward: declined ({reason})")
+        else:
+            print(
+                f"fast-forward (detection-only): {ff.triggers} trigger(s) "
+                f"over {ff.windows} windows in {run.system.epochs} "
+                f"epochs; would skip {ff.would_skip_fraction():.1%} of "
+                f"accesses"
+            )
+            for ev in ff.events:
+                line = (
+                    f"  epoch {ev['epoch']:>3d} window {ev['window']:>2d} "
+                    f"@ cycle {ev['cycle']:>12.0f}: "
+                )
+                if ev["action"] == "detect":
+                    line += f"would skip {ev['accesses']} accesses"
+                elif ev["action"] == "abort":
+                    line += f"trigger declined ({ev['reason']})"
+                else:
+                    line += f"skipped {ev['accesses']} accesses"
+                print(line)
     if args.stats_json:
         run.telemetry.dump(args.stats_json)
         print(f"wrote stats tree to {args.stats_json}")
@@ -196,12 +238,24 @@ def _cmd_bench(args) -> int:
         # Parse the baseline up front so a bad path fails before the
         # (minutes-long) bench run, not after.
         baseline = json.loads(Path(args.compare).read_text())
-    if args.history is not None and Path(args.history).exists():
-        # Likewise validate an existing history file up front.
-        if not isinstance(json.loads(Path(args.history).read_text()), list):
-            print(f"error: {args.history} is not a bench history "
-                  f"(expected a JSON list)")
+    if args.history is not None:
+        # The bench writes its report to BENCH_<tag>.json in the
+        # working directory; a history file with that exact path would
+        # be clobbered by the report before update_history reads it.
+        tag = args.tag or ("smoke" if args.smoke else "local")
+        if Path(args.history).resolve() == Path(f"BENCH_{tag}.json").resolve():
+            print(
+                f"error: --history {args.history} collides with this "
+                f"run's report file BENCH_{tag}.json; pick a different "
+                f"--tag or history path"
+            )
             return 1
+        if Path(args.history).exists():
+            # Likewise validate an existing history file up front.
+            if not isinstance(json.loads(Path(args.history).read_text()), list):
+                print(f"error: {args.history} is not a bench history "
+                      f"(expected a JSON list)")
+                return 1
     report = run_bench(
         smoke=args.smoke,
         tag=args.tag,
@@ -390,6 +444,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the run's exported stats tree to PATH as JSON",
+    )
+    p.add_argument(
+        "--fastfwd-report",
+        action="store_true",
+        help="run the fast-forward detector in detection-only mode and "
+        "print where it would trigger (epoch, window, skipped-access "
+        "fraction); the simulation itself stays exact",
     )
 
     p = sub.add_parser("schemes", help="list the registered schemes and arrays")

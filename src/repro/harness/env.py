@@ -45,3 +45,22 @@ def class_stride(default: int = 1) -> int:
 
 def epoch_cycles(default: int = 250_000) -> int:
     return env_int("REPRO_EPOCH_CYCLES", default)
+
+
+def require_bitwise(context: str) -> None:
+    """Fail fast when ``REPRO_FASTFWD=1`` would undermine a run that
+    must produce bitwise-exact output.
+
+    Golden-stats snapshots and the parity suites pin exact simulation;
+    fast-forward replays epoch tails through a model, so its counters
+    are *accurate* but not *exact*.  Call this at the top of such runs
+    so a stray environment override produces a clear error instead of
+    a baffling diff.
+    """
+    if os.environ.get("REPRO_FASTFWD", "0") == "1":
+        raise RuntimeError(
+            f"REPRO_FASTFWD=1 cannot be combined with {context}: "
+            f"fast-forward replays converged epoch tails through the "
+            f"analytical model, so output is not bitwise-exact. Unset "
+            f"REPRO_FASTFWD (or set it to 0) for this run."
+        )

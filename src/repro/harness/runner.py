@@ -101,6 +101,8 @@ def run_mix(
     size_sample_cycles: int | None = None,
     use_l1: bool = False,
     vantage_config=None,
+    use_fastfwd: bool | None = None,
+    fastfwd_tol: float | None = None,
 ) -> MixRun:
     """Simulate ``mix`` under ``scheme``.
 
@@ -109,6 +111,9 @@ def run_mix(
     with it.
     ``vantage_config`` overrides the Vantage parameters derived from
     the scheme name (Figure 9's unmanaged-region sweep).
+    ``use_fastfwd`` / ``fastfwd_tol`` pass through to
+    :class:`~repro.sim.system.CMPSystem` (None = read the
+    ``REPRO_FASTFWD`` / ``REPRO_FASTFWD_TOL`` environment knobs).
     """
     if mix.num_cores != config.num_cores:
         raise ValueError(
@@ -138,6 +143,8 @@ def run_mix(
         use_l1=use_l1,
         size_series=series,
         size_sample_cycles=size_sample_cycles,
+        use_fastfwd=use_fastfwd,
+        fastfwd_tol=fastfwd_tol,
     )
     tree = telemetry.system_tree(cache=cache, system=system, policy=policy)
     result = system.run(instructions)

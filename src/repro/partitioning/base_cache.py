@@ -98,6 +98,40 @@ def batch_default() -> bool:
     return os.environ.get("REPRO_BATCH", "1") != "0"
 
 
+def fastfwd_default() -> bool:
+    """Whether the event loop may fast-forward converged epoch tails.
+
+    Read from ``REPRO_FASTFWD`` at run time; *off* unless set to
+    ``1``.  Fast-forward replays the Vantage transfer-function model
+    instead of simulating every access, so unlike every other lane it
+    is modelled, not bitwise-exact -- the default keeps all existing
+    parity guarantees untouched.
+    """
+    return os.environ.get("REPRO_FASTFWD", "0") == "1"
+
+
+def fastfwd_tolerance() -> float:
+    """Convergence tolerance of the fast-forward detector.
+
+    Read from ``REPRO_FASTFWD_TOL`` (default 0.02: per-partition
+    miss-rate/churn/aperture window deltas within 2 %).  ``0`` selects
+    *detection-only* mode: the detector runs and logs where a replay
+    would engage, but every access is still simulated exactly.
+    """
+    raw = os.environ.get("REPRO_FASTFWD_TOL")
+    if raw is None:
+        return 0.02
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_FASTFWD_TOL must be a number, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(f"REPRO_FASTFWD_TOL must be >= 0, got {value}")
+    return value
+
+
 def numpy_default() -> bool:
     """Whether the vectorized (numpy) batch-kernel lane is requested.
 
@@ -375,6 +409,40 @@ class PartitionedCache(ABC):
         for counters in (self.shared_hits, self.shared_moves):
             for i in range(len(counters)):
                 counters[i] = 0
+
+    # ------------------------------------------------------------------
+    # Fast-forward state export/import.
+    # ------------------------------------------------------------------
+
+    def fastfwd_state(self) -> dict:
+        """Snapshot every register a fast-forward replay may advance.
+
+        The fast-forward layer (``repro.sim.fastfwd``) snapshots the
+        cache before committing a model replay and restores the
+        snapshot if the commit fails partway, so an aborted replay
+        re-seeds *exactly* the state the detector measured.  Subclasses
+        extend the dict with their scheme-specific registers; every
+        value must be an independent copy (no aliasing of live state).
+        """
+        st = self.stats
+        return {
+            "accesses": list(st.accesses),
+            "hits": list(st.hits),
+            "misses": list(st.misses),
+            "evictions": list(st.evictions),
+            "sizes": list(self._sizes),
+        }
+
+    def fastfwd_restore(self, state: dict) -> None:
+        """Restore a :meth:`fastfwd_state` snapshot, in place (fused
+        and batch kernels hoist these lists, so they are never
+        rebound)."""
+        st = self.stats
+        st.accesses[:] = state["accesses"]
+        st.hits[:] = state["hits"]
+        st.misses[:] = state["misses"]
+        st.evictions[:] = state["evictions"]
+        self._sizes[:] = state["sizes"]
 
     # ------------------------------------------------------------------
     # Fused access kernels.

@@ -41,7 +41,12 @@ from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.analysis.stats import SizeTimeSeries
-from repro.partitioning.base_cache import BatchContext, batch_default
+from repro.partitioning.base_cache import (
+    BatchContext,
+    batch_default,
+    fastfwd_default,
+    fastfwd_tolerance,
+)
 from repro.sim.configs import SystemConfig
 from repro.sim.l1 import L1Cache
 from repro.sim.memory import MemoryModel
@@ -106,6 +111,14 @@ class CMPSystem:
         ``REPRO_TRACE_CHUNKS`` (on unless set to ``0``).  Both feeds
         produce bitwise-identical results (asserted by the parity
         tests); plain callables always use the generator path.
+    use_fastfwd / fastfwd_tol:
+        Analytical fast-forward of converged epoch tails (see
+        :mod:`repro.sim.fastfwd`).  ``use_fastfwd=None`` reads
+        ``REPRO_FASTFWD`` (*off* unless ``1``); ``fastfwd_tol=None``
+        reads ``REPRO_FASTFWD_TOL`` (detector tolerance; ``0`` =
+        detection-only mode that logs triggers but skips nothing).
+        Requires the batch layer; ineligible configurations decline
+        with a recorded reason instead of diverging.
     """
 
     def __init__(
@@ -119,6 +132,8 @@ class CMPSystem:
         size_sample_cycles: int | None = None,
         use_chunks: bool | None = None,
         use_batch: bool | None = None,
+        use_fastfwd: bool | None = None,
+        fastfwd_tol: float | None = None,
     ):
         self.cache = cache
         self.trace_factories = list(traces)
@@ -161,6 +176,18 @@ class CMPSystem:
         # batch layer switches off with it (and with caches that have
         # no fused kernel installed).
         self._use_batch = use_batch and bool(getattr(cache, "fused", False))
+        # Analytical fast-forward (repro.sim.fastfwd): off by default;
+        # rides the batch layer, so it switches off with it.  The layer
+        # itself may still decline at run time (``fastfwd.decline_reason``).
+        if use_fastfwd is None:
+            use_fastfwd = fastfwd_default()
+        self._use_fastfwd = use_fastfwd and self._use_batch
+        self._fastfwd_tol = (
+            fastfwd_tol if fastfwd_tol is not None else fastfwd_tolerance()
+        )
+        #: The run's :class:`~repro.sim.fastfwd.FastForward` instance
+        #: (None until a fast-forward-requested run starts).
+        self.fastfwd = None
         self.batch_calls = 0
         #: which batch lane the last run used: "numpy" (vectorized),
         #: "python" (pure-python mega kernel) or None (no batching).
@@ -228,6 +255,56 @@ class CMPSystem:
             lambda: self.samples,
             "partition-size time-series samples taken",
         )
+        if self._use_fastfwd:
+            # Registered only when fast-forward was requested, so the
+            # default stats tree (and the golden snapshots pinning it)
+            # is untouched.  Values pull through ``self.fastfwd``
+            # lazily: the instance only exists once ``run`` starts.
+            f = group.group("fastfwd", "analytical fast-forward layer")
+
+            def _ff(name, default=0):
+                return lambda: getattr(self.fastfwd, name, default)
+
+            f.stat(
+                "active",
+                lambda: self.fastfwd is not None and self.fastfwd.enabled,
+                "the layer accepted the configuration at run start",
+            )
+            f.stat(
+                "decline_reason",
+                _ff("decline_reason", None),
+                "why the layer declined (None when active)",
+            )
+            f.stat(
+                "detect_only",
+                _ff("detect_only", False),
+                "REPRO_FASTFWD_TOL=0: log triggers, never skip",
+            )
+            f.stat("windows", _ff("windows"), "detector windows measured")
+            f.stat("triggers", _ff("triggers"), "times the detector fired")
+            f.stat("skips", _ff("skips"), "model replays committed")
+            f.stat(
+                "aborts",
+                _ff("aborts"),
+                "fired triggers whose plan was rejected (exact sim resumed)",
+            )
+            f.stat(
+                "skipped_accesses",
+                _ff("skipped_accesses"),
+                "accesses replayed through the model instead of simulated",
+            )
+            f.stat(
+                "would_skip_accesses",
+                _ff("would_skip_accesses"),
+                "accesses a skip would have covered (detection-only)",
+            )
+            f.stat(
+                "skipped_fraction",
+                lambda: (
+                    self.fastfwd.skipped_fraction() if self.fastfwd else 0.0
+                ),
+                "skipped_accesses over all accesses",
+            )
 
     def _build_batch_kernel(
         self,
@@ -412,6 +489,27 @@ class CMPSystem:
             batch_kernel, "chunk_arrays", False
         )
 
+        ff = None
+        if self._use_fastfwd:
+            from repro.sim.fastfwd import FastForward
+
+            self.fastfwd = FastForward(
+                self,
+                batch_kernel,
+                chunked,
+                bufs,
+                positions,
+                limits,
+                instructions,
+                finished_at,
+                times,
+                heap,
+                instructions_per_core,
+                self._fastfwd_tol,
+            )
+            if self.fastfwd.enabled:
+                ff = self.fastfwd
+
         def _refill(cid: int):
             # One store lookup (LRU / disk / compile) per chunk keeps
             # trace production out of the hot loop entirely.  A stream
@@ -464,11 +562,23 @@ class CMPSystem:
             if batch_kernel is not None:
                 # Whole-loop dispatch: one kernel call runs scheduling
                 # events until a boundary only this loop can handle.
+                # With fast-forward enabled, detector windows are extra
+                # reason-1 stops below the real service time: the
+                # kernel parks identically, so they are free of side
+                # effects on the simulation itself.
                 self.batch_calls += 1
+                if ff is not None and ff.next_window < next_service:
+                    call_service = ff.next_window
+                else:
+                    call_service = next_service
                 now, unfinished, reason, cid = batch_kernel(
-                    next_service, unfinished
+                    call_service, unfinished
                 )
                 if reason == 1:
+                    if now < next_service:
+                        # Window boundary only: measure, maybe replay.
+                        ff.on_window(now, next_epoch, next_sample)
+                        continue
                     # Epoch/sample service due at ``now``; the kernel
                     # parked the in-flight core, so re-entry resumes it
                     # through the ordinary selection scan.
@@ -476,6 +586,10 @@ class CMPSystem:
                         self._repartition()
                         while now >= next_epoch:
                             next_epoch += epoch_cycles
+                        if ff is not None:
+                            # New targets: restart the window grid and
+                            # drop the stale convergence evidence.
+                            ff.on_epoch(now)
                     if now >= next_sample:
                         self.samples += 1
                         self.size_series.sample(

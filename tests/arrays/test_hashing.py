@@ -69,6 +69,17 @@ class TestH3Hash:
         h = H3Hash(512, seed=17)
         assert 0 <= h(key) < 512
 
+    def test_bulk_matches_scalar(self):
+        numpy = pytest.importorskip("numpy")
+        h = H3Hash(256, seed=11)
+        # Keys straddling the 32-bit boundary exercise both the scalar
+        # short-circuit and the full 8-byte evaluation.
+        keys = list(range(64)) + [
+            (37 * k + 5) % (1 << 62) for k in range(1, 400)
+        ]
+        bulk = h.bulk(numpy.asarray(keys, dtype=numpy.int64))
+        assert bulk.tolist() == [h(k) for k in keys]
+
 
 class TestH3Family:
     def test_member_count(self):

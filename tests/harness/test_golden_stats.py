@@ -22,6 +22,7 @@ from pathlib import Path
 import pytest
 
 from repro import telemetry
+from repro.harness.env import require_bitwise
 from repro.harness.runner import run_mix
 from repro.sim import small_system
 from repro.workloads import SharedRegionSpec, make_mix, make_shared_mix
@@ -34,7 +35,17 @@ MIX_INDEX = 1
 SEED = 0
 INSTRUCTIONS = 8_000
 
-SCHEMES = ["vantage-z4/52", "waypart-sa16", "pipp-sa64", "drrip-z4/16"]
+#: ``vantage-analytical-z4/52`` pins the Section 6.2 model tree the
+#: fast-forward layer extrapolates with (histogram recompute counters
+#: included); any drift in the model now shows up here, not just in
+#: the Sec 6.2 validation benchmark.
+SCHEMES = [
+    "vantage-z4/52",
+    "waypart-sa16",
+    "pipp-sa64",
+    "drrip-z4/16",
+    "vantage-analytical-z4/52",
+]
 
 #: Pinned shared-region overlay for the reuse-aware golden tree.
 SHARED_SPEC = SharedRegionSpec(kind="shared-table", lines=512, fraction=0.35)
@@ -45,6 +56,7 @@ def _golden_path(scheme: str) -> Path:
 
 
 def _run_snapshot(scheme: str, shared: bool = False) -> dict:
+    require_bitwise("a golden-stats snapshot run")
     prev = telemetry.enabled()
     try:
         telemetry.set_enabled(True)

@@ -25,6 +25,7 @@ import pytest
 
 from repro.arrays.set_assoc import SetAssociativeArray
 from repro.allocation.static import StaticPolicy
+from repro.harness.env import require_bitwise
 from repro.harness.runner import build_cache, run_mix
 from repro.harness.schemes import scheme_partitioned
 from repro.partitioning.base_cache import BaselineCache
@@ -33,6 +34,14 @@ from repro.sim import CMPSystem
 from repro.sim.configs import small_system
 from repro.workloads import make_mix
 from repro.workloads.mixes import Mix, mix_classes
+
+@pytest.fixture(autouse=True)
+def _bitwise_guard():
+    """The batch-parity suite pins exact simulation; a stray
+    ``REPRO_FASTFWD=1`` in the environment must fail loudly, not
+    produce baffling diffs."""
+    require_bitwise("the batch-parity suite")
+
 
 INSTRUCTIONS = 6_000
 
