@@ -199,31 +199,67 @@ def _cmd_schemes(args) -> int:
 
 def _cmd_traces(args) -> int:
     from repro.traces import TraceStore
+    from repro.traces.shm import SharedChunkPool
 
     root = TraceStore.disk_dir()
+    shm_rows = SharedChunkPool.host_segments()
+    if args.purge:
+        if root is not None:
+            removed = TraceStore.purge_disk()
+            print(f"purged {removed} trace(s) from {root}")
+        if getattr(args, "force", False):
+            removed = SharedChunkPool.purge_host()
+            print(f"force-removed {removed} shared-memory segment(s)")
+            return 0
+        scavenged = SharedChunkPool.scavenge()
+        live = [
+            row for row in SharedChunkPool.host_segments()
+            if row["publisher_alive"]
+        ]
+        print(
+            f"removed {scavenged} orphaned shared-memory segment(s); "
+            f"{len(live)} segment(s) belong to live publishers"
+        )
+        for row in live:
+            print(f"  kept {row['name']} (publisher pid {row['pid']})")
+        return 0
     if root is None:
         print("REPRO_TRACE_CACHE is not set; the on-disk trace store is off")
-        return 1
-    if args.purge:
-        removed = TraceStore.purge_disk()
-        print(f"purged {removed} trace(s) from {root}")
-        return 0
-    rows = TraceStore.list_disk()
-    print(f"trace store at {root}: {len(rows)} trace(s)")
-    if rows:
-        print(
-            f"{'app':14s} {'kind':>12s} {'base':>16s} {'seed':>6s} "
-            f"{'chunks':>7s} {'MiB':>8s} {'key':>10s}"
-        )
-        for row in rows:
+    else:
+        rows = TraceStore.list_disk()
+        print(f"trace store at {root}: {len(rows)} trace(s)")
+        if rows:
             print(
-                f"{row.get('name', '?'):14s} {row.get('kind', '?'):>12s} "
-                f"{row.get('base', 0):>16x} {row.get('seed', 0):>6d} "
-                f"{row['chunks']:>7d} {row['bytes'] / (1 << 20):>8.1f} "
-                f"{row['key'][:10]:>10s}"
+                f"{'app':14s} {'kind':>12s} {'base':>16s} {'seed':>6s} "
+                f"{'chunks':>7s} {'MiB':>8s} {'key':>10s}"
             )
-        total = sum(row["bytes"] for row in rows)
+            for row in rows:
+                print(
+                    f"{row.get('name', '?'):14s} {row.get('kind', '?'):>12s} "
+                    f"{row.get('base', 0):>16x} {row.get('seed', 0):>6d} "
+                    f"{row['chunks']:>7d} {row['bytes'] / (1 << 20):>8.1f} "
+                    f"{row['key'][:10]:>10s}"
+                )
+            total = sum(row["bytes"] for row in rows)
+            print(f"total: {total / (1 << 20):.1f} MiB")
+    print(f"shared-memory segments (REPRO_TRACE_SHM): {len(shm_rows)}")
+    if shm_rows:
+        print(
+            f"{'name':40s} {'MiB':>8s} {'sealed':>7s} {'pid':>8s} "
+            f"{'alive':>6s} {'attached':>9s}"
+        )
+        for row in shm_rows:
+            attached = row["attached"]
+            print(
+                f"{row['name']:40s} {row['bytes'] / (1 << 20):>8.1f} "
+                f"{str(row['sealed']):>7s} {row['pid']:>8d} "
+                f"{str(row['publisher_alive']):>6s} "
+                f"{'?' if attached is None else attached:>9}"
+            )
+        total = sum(row["bytes"] for row in shm_rows)
         print(f"total: {total / (1 << 20):.1f} MiB")
+    if root is None and not shm_rows:
+        return 1
     return 0
 
 
@@ -231,7 +267,12 @@ def _cmd_bench(args) -> int:
     import json
     from pathlib import Path
 
-    from repro.harness.bench import compare_reports, run_bench, update_history
+    from repro.harness.bench import (
+        compare_reports,
+        run_bench,
+        run_sweep_bench,
+        update_history,
+    )
 
     baseline = None
     if args.compare is not None:
@@ -242,7 +283,10 @@ def _cmd_bench(args) -> int:
         # The bench writes its report to BENCH_<tag>.json in the
         # working directory; a history file with that exact path would
         # be clobbered by the report before update_history reads it.
-        tag = args.tag or ("smoke" if args.smoke else "local")
+        if args.sweep:
+            tag = args.tag or ("sweep-smoke" if args.smoke else "sweep")
+        else:
+            tag = args.tag or ("smoke" if args.smoke else "local")
         if Path(args.history).resolve() == Path(f"BENCH_{tag}.json").resolve():
             print(
                 f"error: --history {args.history} collides with this "
@@ -256,17 +300,20 @@ def _cmd_bench(args) -> int:
                 print(f"error: {args.history} is not a bench history "
                       f"(expected a JSON list)")
                 return 1
-    report = run_bench(
-        smoke=args.smoke,
-        tag=args.tag,
-        rounds=args.rounds,
-        instructions=args.instructions,
-    )
-    headline = report["kernels"][0]
-    print(
-        f"headline: {headline['scheme']} optimized kernel is "
-        f"{headline['speedup']:.2f}x the reference"
-    )
+    if args.sweep:
+        report = run_sweep_bench(smoke=args.smoke, tag=args.tag)
+    else:
+        report = run_bench(
+            smoke=args.smoke,
+            tag=args.tag,
+            rounds=args.rounds,
+            instructions=args.instructions,
+        )
+        headline = report["kernels"][0]
+        print(
+            f"headline: {headline['scheme']} optimized kernel is "
+            f"{headline['speedup']:.2f}x the reference"
+        )
     if baseline is not None:
         regressions = compare_reports(report, baseline)
         if regressions:
@@ -466,17 +513,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
-        "traces", help="inspect or purge the on-disk trace-chunk store"
+        "traces",
+        help="inspect or purge the on-disk trace store and the "
+        "shared-memory segments",
     )
     p.add_argument(
         "--list",
         action="store_true",
-        help="list stored traces (the default action)",
+        help="list stored traces and live shared-memory segments "
+        "(the default action)",
     )
     p.add_argument(
         "--purge",
         action="store_true",
-        help="delete every stored trace chunk",
+        help="delete every stored trace chunk and scavenge "
+        "shared-memory segments whose publisher is dead",
+    )
+    p.add_argument(
+        "--force",
+        action="store_true",
+        help="with --purge: also unlink segments whose publisher is "
+        "still alive (their attached runs fall back to compiling)",
     )
 
     p = sub.add_parser("serve", help="run the resident experiment daemon")
@@ -537,6 +594,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="short correctness run (CI); timings are not meaningful",
+    )
+    p.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run the sweep-throughput bench instead (multi-scheme "
+        "run_jobs fan-out, REPRO_TRACE_SHM on vs off)",
     )
     p.add_argument("--tag", default=None, help="suffix for BENCH_<tag>.json")
     p.add_argument("--rounds", type=_positive_int, default=None)

@@ -79,6 +79,32 @@ KERNELS = (
     ("lru-sa16", False),
 )
 
+#: The pinned sweep benchmark (``repro bench --sweep``): a fig-6-style
+#: multi-scheme mini-sweep over the headline mix, run as successive
+#: ``run_jobs`` fan-outs the way figure scripts and service clients
+#: issue them.  Every round replays the *same* traces under different
+#: schemes, so without the shared-memory fabric each round's fresh
+#: worker pool re-compiles every chunk privately; with
+#: ``REPRO_TRACE_SHM=1`` the first round publishes once and every
+#: later worker attaches zero-copy.  Two workers is the floor that
+#: exercises cross-process sharing while fitting CI runners.
+SWEEP_ROUNDS = (
+    ("vantage-z4/52", "lru-sa16"),
+    ("drrip-z4/16", "waypart-sa16"),
+    ("ta-drrip-sa16", "srrip-sa16"),
+)
+#: Smoke rounds keep two schemes per round: a single pending job
+#: would run inline (no pool, no publish phase) and exercise nothing.
+SWEEP_SMOKE_ROUNDS = (
+    ("vantage-z4/52", "lru-sa16"),
+    ("drrip-z4/16", "srrip-sa16"),
+)
+SWEEP_SEEDS = (0, 1, 2)
+SWEEP_SMOKE_SEEDS = (0,)
+SWEEP_INSTRUCTIONS = 60_000
+SWEEP_SMOKE_INSTRUCTIONS = 12_000
+SWEEP_WORKERS = 2
+
 
 def _run_once(
     scheme: str,
@@ -546,6 +572,17 @@ def compare_reports(
                 f"{tolerance:.0%} below the baseline "
                 f"{base_batch['speedup']:.2f}x"
             )
+    base_sweep = baseline.get("sweep")
+    cur_sweep = current.get("sweep")
+    if base_sweep and cur_sweep and base_sweep.get("shm_speedup"):
+        floor = base_sweep["shm_speedup"] * (1.0 - tolerance)
+        if (cur_sweep.get("shm_speedup") or 0.0) < floor:
+            regressions.append(
+                f"shm sweep: jobs/sec speedup "
+                f"{cur_sweep.get('shm_speedup')}x is more than "
+                f"{tolerance:.0%} below the baseline "
+                f"{base_sweep['shm_speedup']:.2f}x"
+            )
     return regressions
 
 
@@ -571,6 +608,17 @@ _HISTORY_FASTFWD_FIELDS = (
     "reference_s",
     "speedup",
     "skipped_fraction",
+)
+#: Sweep-fabric history: the gated jobs/sec ratio plus the raw
+#: numbers behind it.  The PSS ratio is recorded but not gated --
+#: runner memory layout varies across hosts more than wall time does.
+_HISTORY_SWEEP_FIELDS = (
+    "jobs",
+    "workers",
+    "instructions",
+    "shm_speedup",
+    "pss_ratio",
+    "identical",
 )
 
 
@@ -616,6 +664,7 @@ def update_history(
     if recent:
         best_kernels: dict[str, dict] = {}
         best_batch: dict | None = None
+        best_sweep: dict | None = None
         for entry in recent:
             for row in entry.get("kernels", []):
                 best = best_kernels.get(row["scheme"])
@@ -626,10 +675,17 @@ def update_history(
                 best_batch is None or batch["speedup"] > best_batch["speedup"]
             ):
                 best_batch = batch
+            sweep = entry.get("sweep")
+            if sweep and sweep.get("shm_speedup") and (
+                best_sweep is None
+                or sweep["shm_speedup"] > best_sweep["shm_speedup"]
+            ):
+                best_sweep = sweep
         baseline = {
             "smoke": False,
             "kernels": list(best_kernels.values()),
             "batch": best_batch,
+            "sweep": best_sweep,
         }
         regressions = compare_reports(report, baseline, tolerance)
 
@@ -653,6 +709,11 @@ def update_history(
             k: ffd[k]
             for k in _HISTORY_FASTFWD_FIELDS
             if ffd.get(k) is not None
+        }
+    sweep = report.get("sweep")
+    if sweep:
+        entry["sweep"] = {
+            k: sweep[k] for k in _HISTORY_SWEEP_FIELDS if sweep.get(k) is not None
         }
     history.append(entry)
     path.write_text(json.dumps(history, indent=2) + "\n")
@@ -902,4 +963,347 @@ def run_bench(
             f"({fastfwd['skips']} skips, {fastfwd['aborts']} aborts): "
             f"the bench is not measuring the layer it reports"
         )
+    return report
+
+
+# -- sweep throughput bench (repro bench --sweep) -----------------------
+#
+# The single-kernel sections above time one simulation in one process;
+# the shared-memory trace fabric (REPRO_TRACE_SHM, repro.traces.shm)
+# speeds up something they cannot see: many worker processes fanning
+# out over the same traces.  Each lane of this bench runs the pinned
+# mini-sweep in a *fresh subprocess* (so neither lane inherits warm
+# chunk caches or segments from the other) while this process samples
+# the lane's process tree.  Memory is reported as PSS
+# (/proc/<pid>/smaps_rollup): shared segment pages count once,
+# proportionally, across the processes mapping them, where plain RSS
+# would bill every worker for the full shared mapping and hide
+# exactly the saving being measured.
+
+
+def _sweep_child_main() -> None:
+    """One sweep lane; runs in a fresh subprocess.
+
+    ``sys.argv[1]`` is the lane config (JSON); the result is written
+    to ``cfg["out"]``.  The lane issues one ``run_jobs`` fan-out per
+    scheme round -- each with its own worker pool, the way figure
+    scripts and service clients arrive -- with the results cache off
+    so every job really simulates, and digests every outcome so the
+    parent can assert the two lanes were bitwise-identical.
+    """
+    import hashlib
+    import sys
+
+    cfg = json.loads(sys.argv[1])
+    from repro import traces
+    from repro.harness.parallel import SimJob, run_jobs
+
+    config = small_system(epoch_cycles=BENCH_EPOCH_CYCLES)
+    mix = make_mix(MIX_CLASS, MIX_INDEX)
+    digest = hashlib.sha256()
+    jobs_total = 0
+    worker_shm_hits = 0
+    start = time.perf_counter()
+    for schemes in cfg["rounds"]:
+        jobs = [
+            SimJob(mix, scheme, config, cfg["instructions"], seed=seed)
+            for scheme in schemes
+            for seed in cfg["seeds"]
+        ]
+        outcomes = run_jobs(jobs, workers=cfg["workers"], use_cache=False)
+        jobs_total += len(jobs)
+        for job, outcome in zip(jobs, outcomes):
+            digest.update(
+                repr((job.scheme, job.seed, outcome.result)).encode()
+            )
+            counters = getattr(outcome, "trace_counters", None) or {}
+            worker_shm_hits = max(worker_shm_hits, counters.get("shm_hits", 0))
+    elapsed = time.perf_counter() - start
+    counters = traces.get_store().counters()
+    Path(cfg["out"]).write_text(
+        json.dumps(
+            {
+                "jobs": jobs_total,
+                "elapsed_s": round(elapsed, 4),
+                "jobs_per_s": round(jobs_total / elapsed, 4),
+                "digest": digest.hexdigest(),
+                "worker_shm_hits": worker_shm_hits,
+                "publisher_shm_publishes": counters["shm_publishes"],
+                "publisher_compiles": counters["compiles"],
+            }
+        )
+        + "\n"
+    )
+
+
+def _process_tree(root: int) -> list[int]:
+    """``root`` and its descendant pids (via ``/proc/*/task/*/children``)."""
+    pending = [root]
+    seen: list[int] = []
+    while pending:
+        pid = pending.pop()
+        seen.append(pid)
+        task_dir = Path(f"/proc/{pid}/task")
+        try:
+            for task in task_dir.iterdir():
+                children = (task / "children").read_text().split()
+                pending.extend(int(child) for child in children)
+        except (OSError, ValueError):
+            continue
+    return seen
+
+
+def _pss_rss_kib(pid: int) -> tuple[int, int] | None:
+    try:
+        text = Path(f"/proc/{pid}/smaps_rollup").read_text()
+    except OSError:
+        return None
+    pss = rss = 0
+    for line in text.splitlines():
+        if line.startswith("Pss:"):
+            pss = int(line.split()[1])
+        elif line.startswith("Rss:"):
+            rss = int(line.split()[1])
+    return pss, rss
+
+
+def _is_resource_tracker(pid: int) -> bool:
+    # multiprocessing's resource tracker is a helper, not a worker;
+    # billing its interpreter footprint to the sweep would be noise.
+    try:
+        cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+    except OSError:
+        return False
+    return b"resource_tracker" in cmdline
+
+
+def _sample_lane_memory(root_pid: int, stop, peaks: dict) -> None:
+    """Sampler thread: peak PSS/RSS over the lane's process tree.
+
+    ``peak_tree_*`` is the per-sample *sum* over the tree at its
+    maximum -- aggregate concurrent memory, the number the fabric is
+    supposed to lower; ``peak_worker_*`` is the hungriest single
+    worker process at any sample.
+    """
+    while not stop.wait(0.02):
+        total_pss = total_rss = 0
+        procs = 0
+        for pid in _process_tree(root_pid):
+            if _is_resource_tracker(pid):
+                continue
+            sizes = _pss_rss_kib(pid)
+            if sizes is None:
+                continue
+            pss, rss = sizes
+            total_pss += pss
+            total_rss += rss
+            if pid != root_pid:
+                procs += 1
+                peaks["peak_worker_pss_kib"] = max(
+                    peaks.get("peak_worker_pss_kib", 0), pss
+                )
+                peaks["peak_worker_rss_kib"] = max(
+                    peaks.get("peak_worker_rss_kib", 0), rss
+                )
+        if procs or total_pss:
+            peaks["peak_tree_pss_kib"] = max(
+                peaks.get("peak_tree_pss_kib", 0), total_pss
+            )
+            peaks["peak_tree_rss_kib"] = max(
+                peaks.get("peak_tree_rss_kib", 0), total_rss
+            )
+            peaks["max_worker_procs"] = max(
+                peaks.get("max_worker_procs", 0), procs
+            )
+
+
+def _shm_segment_names() -> set[str]:
+    from repro.traces.shm import SEGMENT_PREFIX, shm_dir
+
+    root = shm_dir()
+    if root is None:
+        return set()
+    return {path.name for path in root.glob(SEGMENT_PREFIX + "*")}
+
+
+def _run_sweep_lane(shm_on: bool, cfg: dict) -> dict:
+    """Run one lane in a fresh subprocess and sample its memory."""
+    import subprocess
+    import sys
+    import tempfile
+    import threading
+
+    fd, out_path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + extra if extra else src_root
+    )
+    # Pin the lane environment: no disk caches (both lanes must pay
+    # full compile cost or the comparison measures cache warmth), no
+    # fast-forward, no inherited worker-count override.
+    for knob in (
+        "REPRO_TRACE_CACHE",
+        "REPRO_RESULTS_CACHE",
+        "REPRO_CACHE_DIR",
+        "REPRO_FASTFWD",
+        "REPRO_WORKERS",
+    ):
+        env.pop(knob, None)
+    env["REPRO_TRACE_SHM"] = "1" if shm_on else "0"
+    before = _shm_segment_names()
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "from repro.harness.bench import _sweep_child_main; "
+            "_sweep_child_main()",
+            json.dumps({**cfg, "out": out_path}),
+        ],
+        env=env,
+    )
+    peaks: dict = {}
+    stop = threading.Event()
+    sampler = threading.Thread(
+        target=_sample_lane_memory, args=(proc.pid, stop, peaks), daemon=True
+    )
+    sampler.start()
+    returncode = proc.wait()
+    stop.set()
+    sampler.join()
+    leftovers = sorted(_shm_segment_names() - before)
+    if returncode != 0:
+        raise AssertionError(
+            f"sweep lane (shm {'on' if shm_on else 'off'}) exited "
+            f"with {returncode}"
+        )
+    result = json.loads(Path(out_path).read_text())
+    os.unlink(out_path)
+    return {**result, **peaks, "leftover_segments": leftovers}
+
+
+def bench_sweep(smoke: bool = False) -> dict:
+    """Time the pinned mini-sweep with the shm fabric off, then on."""
+    cfg = {
+        "rounds": [list(r) for r in (SWEEP_SMOKE_ROUNDS if smoke else SWEEP_ROUNDS)],
+        "seeds": list(SWEEP_SMOKE_SEEDS if smoke else SWEEP_SEEDS),
+        "instructions": SWEEP_SMOKE_INSTRUCTIONS if smoke else SWEEP_INSTRUCTIONS,
+        "workers": SWEEP_WORKERS,
+    }
+    off = _run_sweep_lane(False, cfg)
+    on = _run_sweep_lane(True, cfg)
+    off_pss = off.get("peak_tree_pss_kib", 0)
+    on_pss = on.get("peak_tree_pss_kib", 0)
+    return {
+        "mix": f"{MIX_CLASS}{MIX_INDEX}",
+        "workers": cfg["workers"],
+        "rounds": cfg["rounds"],
+        "seeds": cfg["seeds"],
+        "instructions": cfg["instructions"],
+        "jobs": on["jobs"],
+        "identical": off["digest"] == on["digest"],
+        "shm_speedup": round(on["jobs_per_s"] / off["jobs_per_s"], 3)
+        if off["jobs_per_s"]
+        else None,
+        "pss_ratio": round(off_pss / on_pss, 3) if on_pss else None,
+        "worker_shm_hits": on["worker_shm_hits"],
+        "leftover_segments": sorted(
+            set(on["leftover_segments"]) | set(off["leftover_segments"])
+        ),
+        "on": on,
+        "off": off,
+    }
+
+
+def run_sweep_bench(
+    smoke: bool = False,
+    tag: str | None = None,
+    out_dir: str | Path = ".",
+) -> dict:
+    """Run the sweep bench, print a summary, write ``BENCH_<tag>.json``.
+
+    Correctness (bitwise-identical lanes, workers really attaching,
+    no leaked segments) is asserted in both modes; the performance
+    direction (higher jobs/sec and lower aggregate PSS with the
+    fabric on) only on full runs -- smoke timings are noise.
+    """
+    if tag is None:
+        tag = "sweep-smoke" if smoke else "sweep"
+    sweep = bench_sweep(smoke=smoke)
+    report = {
+        "tag": tag,
+        "smoke": smoke,
+        "pinned": {
+            "mix": sweep["mix"],
+            "system": "small (2MB L2, 4 cores)",
+            "instructions": sweep["instructions"],
+            "workers": sweep["workers"],
+            "epoch_cycles": BENCH_EPOCH_CYCLES,
+        },
+        "sweep": sweep,
+    }
+
+    on, off = sweep["on"], sweep["off"]
+    print(
+        f"repro bench --sweep ({'smoke, ' if smoke else ''}"
+        f"{sweep['jobs']} jobs x {len(sweep['rounds'])} rounds, "
+        f"{sweep['instructions']} instrs/core, {sweep['workers']} workers)"
+    )
+    print(
+        f"{'lane':>8s} {'elapsed':>9s} {'jobs/s':>8s} "
+        f"{'tree PSS MiB':>13s} {'worker PSS MiB':>15s}"
+    )
+    for label, lane in (("shm off", off), ("shm on", on)):
+        print(
+            f"{label:>8s} {lane['elapsed_s']:>8.2f}s "
+            f"{lane['jobs_per_s']:>8.2f} "
+            f"{lane.get('peak_tree_pss_kib', 0) / 1024:>13.1f} "
+            f"{lane.get('peak_worker_pss_kib', 0) / 1024:>15.1f}"
+        )
+    speedup = sweep["shm_speedup"]
+    pss_ratio = sweep["pss_ratio"]
+    print(
+        f"shm fabric: {speedup:.2f}x jobs/sec, "
+        f"{pss_ratio:.2f}x aggregate PSS, "
+        f"{on['publisher_shm_publishes']} segments published, "
+        f"worker shm hits {sweep['worker_shm_hits']}, "
+        f"identical={sweep['identical']}"
+    )
+
+    path = Path(out_dir) / f"BENCH_{tag}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {path}")
+
+    if not sweep["identical"]:
+        raise AssertionError(
+            "sweep results diverge between REPRO_TRACE_SHM on and off"
+        )
+    if sweep["leftover_segments"]:
+        raise AssertionError(
+            f"sweep lanes leaked shared-memory segments: "
+            f"{', '.join(sweep['leftover_segments'])}"
+        )
+    if sweep["worker_shm_hits"] <= 0:
+        raise AssertionError(
+            "no worker attached a shared segment in the shm-on lane: "
+            "the bench is not measuring the fabric it reports"
+        )
+    if on["publisher_shm_publishes"] <= 0:
+        raise AssertionError(
+            "the shm-on lane published no segments: the publish phase "
+            "did not run"
+        )
+    if not smoke:
+        if speedup is None or speedup <= 1.0:
+            raise AssertionError(
+                f"shm fabric shows no sweep speedup ({speedup}x): "
+                f"on {on['elapsed_s']:.2f}s vs off {off['elapsed_s']:.2f}s"
+            )
+        if pss_ratio is None or pss_ratio <= 1.0:
+            raise AssertionError(
+                f"shm fabric shows no aggregate memory saving "
+                f"(PSS ratio {pss_ratio})"
+            )
     return report

@@ -29,6 +29,10 @@ Environment knobs:
 - ``REPRO_TRACE_CACHE``: directory for the on-disk trace-chunk store
   (see :mod:`repro.traces`); with it set, workers share compiled
   address streams across jobs instead of each regenerating them.
+- ``REPRO_TRACE_SHM``: ``1`` adds a publish phase before the fan-out
+  -- the parent compiles-or-loads each distinct trace once into
+  shared-memory segments and workers attach zero-copy instead of
+  compiling privately (see :mod:`repro.traces.shm`).
 """
 
 from __future__ import annotations
@@ -128,6 +132,11 @@ class SimOutcome:
     #: (gated counters, wall time) legitimately is not.
     stats: dict | None = field(default=None, compare=False)
     wall_time_s: float | None = field(default=None, compare=False)
+    #: Cumulative trace-store counters of the executing process after
+    #: this job (``shm_hits`` et al.) -- how sweeps observe that
+    #: workers really attached shared segments.  Excluded from
+    #: equality like the other telemetry.
+    trace_counters: dict | None = field(default=None, compare=False)
 
 
 def default_workers() -> int:
@@ -177,6 +186,7 @@ def execute_job(job: SimJob) -> SimOutcome:
         managed_eviction_fraction=fraction,
         stats=run.stats(),
         wall_time_s=wall,
+        trace_counters=traces.get_store().counters(),
     )
 
 
@@ -216,6 +226,45 @@ def record_outcome(key: str, outcome: SimOutcome, use_cache: bool = True) -> Non
         JOB_WALL_TIME.record(outcome.wall_time_s)
     if use_cache:
         results_cache.store(key, outcome)
+
+
+def publish_traces(jobs: list[SimJob]) -> int:
+    """Publish every distinct trace in ``jobs`` to the shared fabric.
+
+    The owner half of ``REPRO_TRACE_SHM`` for batch sweeps: before
+    fanning out, the parent scavenges segments orphaned by crashed
+    runs, then compiles-or-loads each distinct ``TraceSpec`` once and
+    publishes its chunk prefix, so workers attach by name instead of
+    compiling one private copy each.  Returns the number of segments
+    created.  Best-effort throughout -- a trace that fails to publish
+    simply stays on the private layers (and a genuinely broken trace
+    reports its real error from the worker that simulates it, not
+    from here).
+    """
+    if not traces.shm_enabled():
+        return 0
+    traces.SharedChunkPool.scavenge()
+    store = traces.get_store()
+    wanted: dict[str, tuple[traces.TraceSpec, int]] = {}
+    for job in jobs:
+        try:
+            factories = job.mix.trace_factories(job.seed)
+        except Exception:
+            continue
+        for spec in factories:
+            if not isinstance(spec, traces.TraceSpec):
+                continue
+            key = store.key_of(spec)
+            prev = wanted.get(key)
+            if prev is None or prev[1] < job.instructions:
+                wanted[key] = (spec, job.instructions)
+    created = 0
+    for spec, instructions in wanted.values():
+        try:
+            created += store.publish_prefix(spec, instructions)
+        except Exception:
+            continue
+    return created
 
 
 def _run_pooled(jobs: list[SimJob], workers: int) -> list[SimOutcome]:
@@ -282,6 +331,8 @@ def run_jobs(
         if workers is None:
             workers = default_workers()
         workers = min(workers, len(pending))
+        if workers > 1:
+            publish_traces([job for _, job in pending])
         fresh = _run_pooled([job for _, job in pending], workers)
         for (key, _), outcome in zip(pending, fresh):
             record_outcome(key, outcome, use_cache=use_cache)

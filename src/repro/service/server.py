@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import traces
 from repro.harness import results_cache
 from repro.harness.parallel import SimJob, default_workers
 from repro.service import protocol
@@ -72,6 +73,13 @@ class ExperimentDaemon:
         self.started_at = time.monotonic()
         self._servers: list[asyncio.base_events.Server] = []
         self._shutdown = asyncio.Event()
+        # Shared-memory trace fabric (REPRO_TRACE_SHM): the daemon is
+        # the publishing owner; resident workers only ever attach.
+        # The lock serialises publish work (the store and segment pool
+        # are not thread-safe); the memo keeps resubmitted mixes from
+        # re-walking their chunk prefixes.
+        self._publish_lock = asyncio.Lock()
+        self._published_traces: dict[str, int] = {}
         # Telemetry counters.
         self.connections_total = 0
         self.connections_open = 0
@@ -173,6 +181,7 @@ class ExperimentDaemon:
                         },
                     )
                 return
+        await self._publish_job_traces(job)
         try:
             entry, deduped = self.queue.submit(job, priority=priority)
         except QueueFull:
@@ -217,6 +226,41 @@ class ExperimentDaemon:
                 "outcome": protocol.pack(outcome),
             },
         )
+
+    async def _publish_job_traces(self, job: SimJob) -> None:
+        """Publish ``job``'s traces to the shared fabric before it can
+        reach a worker (no-op unless ``REPRO_TRACE_SHM=1``).
+
+        Runs in the default executor so a cold compile never stalls
+        the event loop; other clients keep submitting and watching
+        while the fabric warms up.  Best-effort: a failed publish just
+        means workers fall back to their private layers.
+        """
+        if not traces.shm_enabled():
+            return
+        loop = asyncio.get_running_loop()
+        async with self._publish_lock:
+            await loop.run_in_executor(None, self._publish_job_traces_sync, job)
+
+    def _publish_job_traces_sync(self, job: SimJob) -> None:
+        store = traces.get_store()
+        try:
+            factories = job.mix.trace_factories(job.seed)
+        except Exception:
+            return
+        for spec in factories:
+            if not isinstance(spec, traces.TraceSpec):
+                continue
+            key = store.key_of(spec)
+            if self._published_traces.get(key, -1) >= job.instructions:
+                continue
+            try:
+                store.publish_prefix(spec, job.instructions)
+            except Exception:
+                continue
+            if len(self._published_traces) >= 4096:
+                self._published_traces.clear()
+            self._published_traces[key] = job.instructions
 
     async def _handle_watch(self, msg: dict, writer) -> None:
         entry = self.queue.get(int(msg.get("id", -1)))
@@ -315,6 +359,10 @@ class ExperimentDaemon:
 
     async def start(self) -> None:
         """Bind sockets and spawn the worker pool (no blocking wait)."""
+        if traces.shm_enabled():
+            # Reclaim segments orphaned by crashed runs before workers
+            # fork; live publishers' segments are never touched.
+            traces.SharedChunkPool.scavenge()
         await self.pool.start()
         path = self.config.socket_path
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -341,6 +389,15 @@ class ExperimentDaemon:
             await server.wait_closed()
         self._servers.clear()
         await self.pool.stop()
+        if traces.shm_enabled() or self._published_traces:
+            # Workers are gone; release the fabric.  Unlinks every
+            # segment this daemon published and closes idle mappings
+            # (segments other owners published stay untouched).  Also
+            # checked against the publish memo, not just the env flag:
+            # segments published earlier must be unlinked even if the
+            # flag was flipped off while the daemon ran.
+            traces.get_pool().close(unlink=True)
+            self._published_traces.clear()
         with contextlib.suppress(OSError):
             self.config.socket_path.unlink()
 

@@ -10,15 +10,17 @@ feed ahead of the timing model:
 - :func:`~repro.traces.chunks.compile_chunk` flattens a stream into
   ``array('q')`` gap/addr chunk buffers;
 - :class:`TraceStore` caches chunks under content keys, with an
-  in-process LRU and an optional on-disk layer
-  (``REPRO_TRACE_CACHE``), so one compilation feeds every scheme job
-  in a sweep;
+  in-process LRU, an optional host-wide shared-memory layer
+  (``REPRO_TRACE_SHM=1``, :class:`SharedChunkPool`) and an optional
+  on-disk layer (``REPRO_TRACE_CACHE``), so one compilation feeds
+  every scheme job -- and every worker process -- in a sweep;
 - :meth:`repro.sim.system.CMPSystem.run` consumes chunks through an
   index cursor instead of per-event generator calls
   (``REPRO_TRACE_CHUNKS=0`` restores the generator feed).
 """
 
 from repro.traces.chunks import DEFAULT_CHUNK_PAIRS, chunk_nbytes, compile_chunk
+from repro.traces.shm import SharedChunkPool, get_pool, reset_pool, shm_enabled
 from repro.traces.spec import TRACE_FORMAT_VERSION, TraceSpec, generator_fingerprint
 from repro.traces.store import TraceStore, get_store, reset_store
 
@@ -31,12 +33,16 @@ def register_stats(group) -> None:
 __all__ = [
     "DEFAULT_CHUNK_PAIRS",
     "TRACE_FORMAT_VERSION",
+    "SharedChunkPool",
     "TraceSpec",
     "TraceStore",
     "chunk_nbytes",
     "compile_chunk",
     "generator_fingerprint",
+    "get_pool",
     "get_store",
     "register_stats",
+    "reset_pool",
     "reset_store",
+    "shm_enabled",
 ]

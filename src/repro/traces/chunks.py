@@ -59,6 +59,18 @@ def segment_profile(buf, start: int, limit: int, max_pairs: int) -> tuple[int, i
     return (end - start) // 2, sum(buf[start:end:2])
 
 
+def chunk_instructions(buf) -> int:
+    """Instructions covered by one compiled chunk buffer.
+
+    Every ``(gap, addr)`` pair is ``gap`` skipped instructions plus
+    the access itself, so a chunk covers ``pairs + sum(gaps)``.  The
+    shared-memory publish phase uses this to size the chunk prefix a
+    job of N instructions will consume; the extended-slice ``sum``
+    keeps it at C speed for both ``array('q')`` and memoryview chunks.
+    """
+    return len(buf) // 2 + sum(buf[0::2])
+
+
 def chunk_array_view(chunk: array):
     """Zero-copy ``int64`` ndarray view of a compiled chunk.
 

@@ -11,11 +11,16 @@ Layers, cheapest first:
 
 1. **memory**: an LRU of at most ``max_chunks`` buffers (default 128
    chunks of 64K pairs = 128 MiB);
-2. **disk**: enabled when ``REPRO_TRACE_CACHE`` names a directory
-   (compact ``array('q').tofile`` binaries, native byte order, one
-   sub-directory per trace with a ``meta.json`` sidecar for
-   ``repro traces --list``);
-3. **compile**: pull pairs from the spec's generator.  Each trace
+2. **shared memory**: enabled by ``REPRO_TRACE_SHM=1`` -- named
+   host-wide segments published once by a sweep owner (``run_jobs``
+   parent, service daemon) and mapped zero-copy by every worker
+   (:mod:`repro.traces.shm`);
+3. **disk**: enabled when ``REPRO_TRACE_CACHE`` names a directory
+   (compact ``array('q').tofile`` binaries, native byte order --
+   recorded in the ``meta.json`` sidecar and verified on load, so a
+   cache directory copied across endianness fails loudly instead of
+   corrupting traces);
+4. **compile**: pull pairs from the spec's generator.  Each trace
    keeps a *producer* (its live generator plus the next chunk index)
    so sequential requests never regenerate the prefix; a request
    behind an evicted producer restarts the generator from item zero,
@@ -27,18 +32,28 @@ Environment knobs:
 - ``REPRO_TRACE_CHUNK_PAIRS``: pairs per chunk (default 65536).
 - ``REPRO_TRACE_MEM_CHUNKS``: in-memory LRU capacity in chunks
   (default 128).
+- ``REPRO_TRACE_SHM``: ``1`` maps chunks through the shared-memory
+  fabric (attach everywhere; publishing stays with sweep owners).
+- ``REPRO_TRACE_SHM_SLACK``: publish-phase horizon multiplier over the
+  job's instruction target (default 2.0; consumption past the target
+  depends on co-runners, so the prefix is sized with slack and
+  anything beyond it falls back to the layers below).
+- ``REPRO_TRACE_SHM_MAX_CHUNKS``: per-trace publish cap in chunks
+  (default 64 = 64 MiB per trace at default chunking).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 from array import array
 from collections import OrderedDict
 from pathlib import Path
 
-from repro.traces.chunks import DEFAULT_CHUNK_PAIRS, compile_chunk
+from repro.traces.chunks import DEFAULT_CHUNK_PAIRS, chunk_instructions, compile_chunk
+from repro.traces.shm import get_pool, shm_enabled
 from repro.traces.spec import TraceSpec
 
 #: Producers kept alive per store (live generators are cheap; this
@@ -58,6 +73,11 @@ _DEFAULT_MEM_CHUNKS = 128
 def _env_int(name: str, default: int) -> int:
     value = os.environ.get(name)
     return int(value) if value else default
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return float(value) if value else default
 
 
 class TraceStore:
@@ -80,6 +100,7 @@ class TraceStore:
         self._producers: OrderedDict[str, tuple] = OrderedDict()
         self._keys: dict[TraceSpec, str] = {}
         self._meta_written: set[str] = set()
+        self._endian_checked: set[str] = set()
         # Telemetry counters (pulled by the harness stats tree).
         self.mem_hits = 0
         self.disk_hits = 0
@@ -88,6 +109,10 @@ class TraceStore:
         self.bytes_compiled = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.shm_hits = 0
+        self.shm_misses = 0
+        self.shm_publishes = 0
+        self.shm_bytes = 0
 
     # -- keys and layout ------------------------------------------------
 
@@ -122,9 +147,15 @@ class TraceStore:
 
     # -- layered lookup -------------------------------------------------
 
-    def get_chunk(self, spec: TraceSpec, index: int) -> array:
+    def get_chunk(self, spec: TraceSpec, index: int):
         """The ``index``-th chunk of ``spec``'s stream (memory, then
-        disk, then compile)."""
+        shared memory, then disk, then compile).
+
+        Returns ``array('q')`` from the private layers or a
+        ``memoryview('q')`` over a shared segment -- interchangeable
+        for every consumer (list cursor, numpy view, ``tolist``) and
+        bitwise-identical by the parity suite.
+        """
         if index < 0:
             raise ValueError("chunk index must be non-negative")
         key = self.key_of(spec)
@@ -134,6 +165,14 @@ class TraceStore:
             self.mem_hits += 1
             self._chunks.move_to_end(mem_key)
             return chunk
+        if shm_enabled():
+            view = get_pool().attach(key, index, self.chunk_pairs)
+            if view is not None:
+                self.shm_hits += 1
+                self.shm_bytes += view.nbytes
+                self._remember(mem_key, view)
+                return view
+            self.shm_misses += 1
         chunk = self._load_disk(key, index)
         if chunk is not None:
             self.disk_hits += 1
@@ -174,10 +213,46 @@ class TraceStore:
 
     # -- disk layer -----------------------------------------------------
 
+    def _check_byte_order(self, key: str) -> None:
+        """Refuse to touch a trace directory written on a host of the
+        other endianness.
+
+        Chunk files are native-order (``tofile``); a
+        ``REPRO_TRACE_CACHE`` directory copied between hosts of
+        different byte order would deserialize into byte-swapped
+        gaps/addresses and silently corrupt every simulation, so the
+        recorded order in ``meta.json`` is checked once per trace.
+        Directories written before the field existed are accepted as
+        native (they cannot have crossed endianness through this
+        code).
+        """
+        if key in self._endian_checked:
+            return
+        trace_dir = self._trace_dir(key)
+        if trace_dir is None:
+            return
+        try:
+            meta = json.loads((trace_dir / "meta.json").read_text())
+        except (OSError, json.JSONDecodeError):
+            meta = {}
+        order = meta.get("byte_order")
+        if order is not None and order != sys.byteorder:
+            raise RuntimeError(
+                f"trace cache {trace_dir} was written on a {order}-endian "
+                f"host but this host is {sys.byteorder}-endian; chunk files "
+                "are native byte order and cannot be loaded here. Point "
+                "REPRO_TRACE_CACHE at a fresh directory or run "
+                "`repro traces --purge` on this host's copy."
+            )
+        if len(self._endian_checked) >= MAX_KEY_MEMO:
+            self._endian_checked.clear()
+        self._endian_checked.add(key)
+
     def _load_disk(self, key: str, index: int) -> array | None:
         path = self._chunk_path(key, index)
         if path is None:
             return None
+        self._check_byte_order(key)
         expected = 2 * self.chunk_pairs
         buf = array("q")
         try:
@@ -197,6 +272,9 @@ class TraceStore:
         path = self._chunk_path(key, index)
         if path is None:
             return
+        # Writing native-order chunks into a foreign-order directory
+        # would leave it inconsistent; refuse before touching it.
+        self._check_byte_order(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -212,7 +290,11 @@ class TraceStore:
                 if not meta.exists():
                     meta.write_text(
                         json.dumps(
-                            {**spec.describe(), "chunk_pairs": self.chunk_pairs},
+                            {
+                                **spec.describe(),
+                                "chunk_pairs": self.chunk_pairs,
+                                "byte_order": sys.byteorder,
+                            },
                             indent=2,
                             sort_keys=True,
                         )
@@ -246,6 +328,61 @@ class TraceStore:
             producers.popitem(last=False)
         return chunk
 
+    # -- shared-memory layer (owner side) -------------------------------
+
+    def publish_prefix(
+        self,
+        spec: TraceSpec,
+        instructions: int,
+        *,
+        slack: float | None = None,
+        max_chunks: int | None = None,
+    ) -> int:
+        """Publish ``spec``'s chunk prefix into the shared fabric.
+
+        The owner side of ``REPRO_TRACE_SHM``: the ``run_jobs`` parent
+        and the service daemon call this once per distinct trace so
+        every worker attaches instead of compiling.  How many chunks a
+        job of ``instructions`` consumes is not exactly knowable
+        up-front (cores run past their target until all finish), so
+        the prefix covers ``slack``-times the target, capped at
+        ``max_chunks``; consumers past the horizon fall back to the
+        layers below.  Published chunks are dropped from this store's
+        private LRU so all consumers -- including workers forked from
+        this process -- resolve them through the fabric.
+
+        Returns the number of segments this call created (0 when the
+        fabric is disabled or another publisher got there first).
+        """
+        if not shm_enabled():
+            return 0
+        if slack is None:
+            slack = _env_float("REPRO_TRACE_SHM_SLACK", 2.0)
+        if max_chunks is None:
+            max_chunks = _env_int("REPRO_TRACE_SHM_MAX_CHUNKS", 64)
+        pool = get_pool()
+        key = self.key_of(spec)
+        target = instructions * slack
+        covered = 0
+        created = 0
+        for index in range(max_chunks):
+            if covered >= target:
+                break
+            chunk = self.get_chunk(spec, index)
+            if not isinstance(chunk, memoryview):
+                view, fresh = pool.publish(key, index, chunk, self.chunk_pairs)
+                if view is None:
+                    # Fabric unavailable (full /dev/shm, torn racer):
+                    # stop publishing; sims still work off lower layers.
+                    break
+                if fresh:
+                    created += 1
+                    self.shm_publishes += 1
+                self._chunks.pop((key, index), None)
+                self._lists.pop((key, index), None)
+            covered += chunk_instructions(chunk)
+        return created
+
     # -- inspection / maintenance ---------------------------------------
 
     def counters(self) -> dict[str, int]:
@@ -257,6 +394,10 @@ class TraceStore:
             "bytes_compiled": self.bytes_compiled,
             "bytes_read": self.bytes_read,
             "bytes_written": self.bytes_written,
+            "shm_hits": self.shm_hits,
+            "shm_misses": self.shm_misses,
+            "shm_publishes": self.shm_publishes,
+            "shm_bytes": self.shm_bytes,
         }
 
     def register_stats(self, group) -> None:
@@ -268,6 +409,10 @@ class TraceStore:
         group.stat("bytes_compiled", lambda: self.bytes_compiled, "bytes produced by the compile layer")
         group.stat("bytes_read", lambda: self.bytes_read, "bytes loaded from disk")
         group.stat("bytes_written", lambda: self.bytes_written, "bytes persisted to disk")
+        group.stat("shm_hits", lambda: self.shm_hits, "chunks attached from shared-memory segments")
+        group.stat("shm_misses", lambda: self.shm_misses, "shared-memory lookups that fell through")
+        group.stat("shm_publishes", lambda: self.shm_publishes, "segments published by this process")
+        group.stat("shm_bytes", lambda: self.shm_bytes, "bytes served zero-copy from shared memory")
 
     def clear_memory(self) -> None:
         """Drop the LRU and producers (counters are kept)."""
@@ -276,6 +421,7 @@ class TraceStore:
         self._producers.clear()
         self._keys.clear()
         self._meta_written.clear()
+        self._endian_checked.clear()
 
     @classmethod
     def list_disk(cls) -> list[dict]:

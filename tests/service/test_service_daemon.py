@@ -381,3 +381,59 @@ class TestStatsTree:
             daemon.register_stats(StatGroup("service"))
 
         asyncio.run(scenario())
+
+
+@pytest.fixture
+def shm_daemon(svc_env, monkeypatch):
+    """A daemon with the shared-memory trace fabric on.  The env flag
+    must be set -- and the process-global trace store reset -- before
+    the harness starts: resident workers fork at ``pool.start()``, so
+    they inherit both, and a store warmed by earlier tests would serve
+    the job's chunks as ``mem_hits`` instead of attaching segments."""
+    from repro import traces
+    from repro.traces import shm
+
+    if shm.shm_dir() is None:
+        pytest.skip("no /dev/shm on this platform")
+    monkeypatch.setenv("REPRO_TRACE_SHM", "1")
+    shm.reset_pool()
+    traces.reset_store()
+    harness = DaemonHarness(svc_env, workers=2)
+    yield harness
+    harness.stop()
+    shm.get_pool().close(unlink=True)
+
+
+class TestSharedMemoryFabric:
+    def test_daemon_publishes_workers_attach_shutdown_unlinks(
+        self, shm_daemon, monkeypatch
+    ):
+        """The resident-service side of ``REPRO_TRACE_SHM``: submit
+        publishes the job's traces, the worker attaches them
+        (``shm_hits`` in its piggybacked counters), the outcome is
+        bitwise-identical to a serial no-shm run, and a clean daemon
+        shutdown unlinks every segment the server published."""
+        from repro.traces import shm
+
+        before = {p.name for p in shm.shm_dir().glob(shm.SEGMENT_PREFIX + "*")}
+        job = _job(seed=8)
+        with shm_daemon.client() as svc:
+            outcome = svc.submit(job)
+        published = {
+            p.name for p in shm.shm_dir().glob(shm.SEGMENT_PREFIX + "*")
+        } - before
+        assert published, "daemon did not publish the job's traces"
+        assert outcome.trace_counters["shm_hits"] > 0
+
+        with monkeypatch.context() as m:
+            m.setenv("REPRO_TRACE_SHM", "0")
+            serial = run_mix(
+                job.mix, job.scheme, job.config, job.instructions, seed=job.seed
+            )
+        assert outcome.result == serial.result
+
+        shm_daemon.stop()
+        leftovers = {
+            p.name for p in shm.shm_dir().glob(shm.SEGMENT_PREFIX + "*")
+        } & published
+        assert not leftovers, f"daemon shutdown leaked {sorted(leftovers)}"

@@ -172,6 +172,49 @@ def test_disk_meta_and_list_and_purge(tmp_path, monkeypatch):
     assert TraceStore.list_disk() == []
 
 
+def test_meta_records_byte_order(tmp_path, monkeypatch):
+    import sys
+
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    store = TraceStore(chunk_pairs=64)
+    store.get_chunk(APPS["mcf"].trace_spec(base=0, seed=1), 0)
+    meta = json.loads(next((tmp_path / "traces").rglob("meta.json")).read_text())
+    assert meta["byte_order"] == sys.byteorder
+
+
+def test_cross_endian_cache_is_refused(tmp_path, monkeypatch):
+    """Chunk files are native-order; a cache directory written on a
+    host of the other endianness must fail loudly on load *and* on
+    store, never deserialize byte-swapped traces."""
+    import sys
+
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    spec = APPS["lbm"].trace_spec(base=0, seed=9)
+    writer = TraceStore(chunk_pairs=64)
+    writer.get_chunk(spec, 0)
+
+    meta_path = next((tmp_path / "traces").rglob("meta.json"))
+    meta = json.loads(meta_path.read_text())
+    foreign = "big" if sys.byteorder == "little" else "little"
+    meta["byte_order"] = foreign
+    meta_path.write_text(json.dumps(meta))
+
+    reader = TraceStore(chunk_pairs=64)
+    with pytest.raises(RuntimeError, match=f"{foreign}-endian"):
+        reader.get_chunk(spec, 0)
+    with pytest.raises(RuntimeError, match=f"{foreign}-endian"):
+        reader.get_chunk(spec, 1)  # the write path refuses too
+
+    # Legacy directories (meta without the field) stay loadable: they
+    # were written by this host's lineage and are native by
+    # construction.
+    del meta["byte_order"]
+    meta_path.write_text(json.dumps(meta))
+    legacy = TraceStore(chunk_pairs=64)
+    assert list(legacy.get_chunk(spec, 0)) == list(writer.get_chunk(spec, 0))
+    assert legacy.disk_hits == 1
+
+
 def test_disk_layer_off_without_env(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
     store = TraceStore(chunk_pairs=64)
