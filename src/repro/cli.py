@@ -20,6 +20,11 @@ Subcommands:
 - ``submit``: run one mix through a running daemon (same output as
   ``run-mix``, but simulated by the shared service).
 - ``svc-stats``: a running daemon's telemetry tree (text or JSON).
+- ``gateway``: run the federation gateway over N daemons
+  (consistent-hash routing, health checks, failover).
+- ``fed-submit``: run a mix x scheme sweep through a gateway in one
+  batch request.
+- ``fed-status``: a running gateway's membership table and counters.
 
 Interrupts: Ctrl-C exits with code 130 and SIGTERM with 143, after
 shutting worker pools down quietly (workers ignore SIGINT; only the
@@ -339,14 +344,21 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _tcp_arg(text: str | None):
+    """Parse a ``--tcp HOST:PORT`` value (``None`` passes through)."""
+    if not text:
+        return None
+    from repro.service import parse_addr
+
+    return parse_addr(text, what="--tcp")
+
+
 def _service_client(args):
     from repro.service import ServiceClient
 
-    tcp = None
-    if getattr(args, "tcp", None):
-        host, _, port = args.tcp.rpartition(":")
-        tcp = (host, int(port))
-    return ServiceClient(socket_path=args.socket, tcp=tcp)
+    return ServiceClient(
+        socket_path=args.socket, tcp=_tcp_arg(getattr(args, "tcp", None))
+    )
 
 
 def _cmd_serve(args) -> int:
@@ -355,10 +367,7 @@ def _cmd_serve(args) -> int:
     from repro.service import ServiceConfig, serve
     from repro.service.protocol import default_socket
 
-    tcp = None
-    if args.tcp:
-        host, _, port = args.tcp.rpartition(":")
-        tcp = (host, int(port))
+    tcp = _tcp_arg(args.tcp)
     config = ServiceConfig(
         socket_path=Path(args.socket) if args.socket else default_socket(),
         tcp=tcp,
@@ -453,6 +462,155 @@ def _cmd_svc_stats(args) -> int:
     print("daemon stats:")
     walk(tree)
     return 0
+
+
+def _cmd_gateway(args) -> int:
+    from pathlib import Path
+
+    from repro.federation import (
+        GatewayConfig,
+        default_gateway_socket,
+        serve_gateway,
+    )
+
+    config = GatewayConfig(
+        socket_path=(
+            Path(args.socket) if args.socket else default_gateway_socket()
+        ),
+        tcp=_tcp_arg(args.tcp),
+        nodes=args.node,
+        health_interval=args.health_interval,
+        fail_threshold=args.fail_threshold,
+        per_node_inflight=args.per_node_inflight,
+        max_retries=args.max_retries,
+        use_cache=not args.no_cache,
+    )
+    print(
+        f"repro gateway: socket {config.socket_path}, "
+        f"{len(config.nodes)} node(s): {', '.join(config.nodes)}"
+        + (f", tcp {config.tcp[0]}:{config.tcp[1]}" if config.tcp else "")
+    )
+    serve_gateway(config)
+    print("repro gateway: stopped")
+    return 0
+
+
+def _sweep_jobs(args):
+    """Build the mix x scheme job grid shared by fed-submit."""
+    from dataclasses import replace
+
+    from repro.harness import SimJob
+    from repro.harness.schemes import split_scheme
+    from repro.sim import large_system, small_system
+    from repro.workloads import make_mix
+
+    config = small_system() if args.system == "small" else large_system()
+    if args.epoch_cycles:
+        config = replace(config, epoch_cycles=args.epoch_cycles)
+    apps_per_slot = config.num_cores // 4
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not schemes:
+        raise ValueError("--schemes names no schemes")
+    for scheme in schemes:
+        split_scheme(scheme)
+    mixes = [
+        make_mix(args.mix_class, index, apps_per_slot=apps_per_slot)
+        for index in range(1, args.mixes + 1)
+    ]
+    jobs = [
+        SimJob(mix, scheme, config, args.instructions, seed=args.seed)
+        for mix in mixes
+        for scheme in schemes
+    ]
+    return jobs, mixes, schemes
+
+
+def _cmd_fed_submit(args) -> int:
+    from repro.federation import FederatedClient
+    from repro.service import ServiceError
+
+    try:
+        jobs, mixes, schemes = _sweep_jobs(args)
+    except ValueError as err:
+        print(f"error: {err}")
+        return 1
+    print(
+        f"fed-submit: {len(jobs)} job(s) "
+        f"({len(mixes)} mix(es) x {len(schemes)} scheme(s))"
+    )
+    try:
+        with FederatedClient(args.gateway) as fed:
+            batch = fed.submit_batch(jobs, priority=args.priority)
+    except (ServiceError, OSError) as err:
+        print(f"error: {err}")
+        return 1
+    slot = 0
+    for mix in mixes:
+        for scheme in schemes:
+            outcome = batch.outcomes[slot]
+            origin = (
+                "cache" if batch.cached[slot]
+                else "dedup" if batch.deduped[slot]
+                else "fleet"
+            )
+            if outcome is None:
+                print(
+                    f"  {mix.name:12s} {scheme:20s} "
+                    f"FAILED: {batch.errors[slot]}"
+                )
+            else:
+                print(
+                    f"  {mix.name:12s} {scheme:20s} "
+                    f"throughput {outcome.result.throughput:7.3f}  [{origin}]"
+                )
+            slot += 1
+    failed = sum(1 for e in batch.errors if e is not None)
+    print(
+        f"done: {len(jobs) - failed}/{len(jobs)} ok, "
+        f"{sum(batch.cached)} cached, {sum(batch.deduped)} deduped"
+    )
+    return 1 if failed else 0
+
+
+def _cmd_fed_status(args) -> int:
+    import json
+
+    from repro.federation import FederatedClient
+    from repro.service import ServiceError
+
+    try:
+        with FederatedClient(args.gateway) as fed:
+            summary = fed.status()
+    except (ServiceError, OSError) as err:
+        print(f"error: {err}")
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(
+        f"gateway: up {summary.get('uptime_s', 0):.0f}s, "
+        f"routed {summary.get('routed', 0)}, "
+        f"dedupe {summary.get('dedupe_hits', 0)}, "
+        f"cache {summary.get('cache_hits', 0)}, "
+        f"failover {summary.get('failover_requeues', 0)}, "
+        f"completed {summary.get('completed', 0)}, "
+        f"failed {summary.get('failed', 0)}"
+    )
+    nodes = summary.get("nodes", [])
+    print(
+        f"{'node':8s} {'state':>8s} {'addr':>24s} {'routed':>7s} "
+        f"{'inflight':>9s} {'queue':>6s} {'workers':>8s}"
+    )
+    for row in nodes:
+        queue = row.get("queue_depth")
+        workers = row.get("workers_alive")
+        print(
+            f"{row['name']:8s} {row['state']:>8s} {row['addr']:>24s} "
+            f"{row['routed']:>7d} {row['in_flight']:>9d} "
+            f"{'?' if queue is None else queue:>6} "
+            f"{'?' if workers is None else workers:>8}"
+        )
+    return 0 if any(row["state"] != "dead" for row in nodes) else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -588,6 +746,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "gateway", help="run the federation gateway over N daemons"
+    )
+    p.add_argument(
+        "--socket",
+        default=None,
+        help="gateway Unix socket path (or REPRO_GATEWAY_SOCKET)",
+    )
+    p.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="also listen on TCP",
+    )
+    p.add_argument(
+        "--node",
+        action="append",
+        required=True,
+        metavar="ADDR",
+        help="a backend daemon (host:port, [v6]:port or a socket "
+        "path); repeat once per node",
+    )
+    p.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="seconds between node health probes",
+    )
+    p.add_argument(
+        "--fail-threshold",
+        type=_positive_int,
+        default=2,
+        help="consecutive failed probes before a node is dead",
+    )
+    p.add_argument(
+        "--per-node-inflight",
+        type=_positive_int,
+        default=8,
+        help="concurrent jobs forwarded per node",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="failover hops tolerated per job",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the gateway's read-through results cache",
+    )
+
+    p = sub.add_parser(
+        "fed-submit", help="run a mix x scheme sweep via a gateway"
+    )
+    p.add_argument(
+        "--gateway",
+        default=None,
+        metavar="ADDR",
+        help="gateway host:port or socket path (or REPRO_FED_GATEWAY)",
+    )
+    p.add_argument("--mix-class", default="sftn")
+    p.add_argument(
+        "--mixes",
+        type=_positive_int,
+        default=1,
+        help="submit mix indices 1..N of the class",
+    )
+    p.add_argument(
+        "--schemes",
+        default="vantage-z4/52",
+        help="comma-separated scheme list (the sweep is mixes x schemes)",
+    )
+    p.add_argument("--system", choices=("small", "large"), default="small")
+    p.add_argument("--instructions", type=int, default=400_000)
+    p.add_argument("--epoch-cycles", type=int, default=250_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--priority", type=int, default=0)
+
+    p = sub.add_parser(
+        "fed-status", help="a running gateway's nodes and counters"
+    )
+    p.add_argument(
+        "--gateway",
+        default=None,
+        metavar="ADDR",
+        help="gateway host:port or socket path (or REPRO_FED_GATEWAY)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw summary as JSON",
+    )
+
+    p = sub.add_parser(
         "bench", help="time the optimized kernels against the reference"
     )
     p.add_argument(
@@ -635,6 +888,9 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "svc-stats": _cmd_svc_stats,
+    "gateway": _cmd_gateway,
+    "fed-submit": _cmd_fed_submit,
+    "fed-status": _cmd_fed_status,
 }
 
 #: Conventional 128+signal exit codes for interrupted runs.
@@ -661,8 +917,15 @@ def main(argv: list[str] | None = None) -> int:
         previous = _signal.signal(_signal.SIGTERM, _sigterm_to_exit)
     except (OSError, ValueError):
         pass  # not the main thread (embedding); keep default handling
+    from repro.service.protocol import ProtocolError
+
     try:
         return _COMMANDS[args.command](args)
+    except ProtocolError as err:
+        # Malformed --tcp / REPRO_SERVICE_ADDR / node address specs:
+        # one clear line, exit 1, no traceback.
+        print(f"error: {err}")
+        return 1
     except KeyboardInterrupt:
         print("\ninterrupted", flush=True)
         return EXIT_SIGINT

@@ -1,0 +1,52 @@
+"""repro.federation: a gateway/scheduler over N experiment daemons.
+
+PR-5 made the simulator resident (:mod:`repro.service`); this package
+makes it a *fleet*.  A :class:`FederationGateway` speaks the same v1
+JSON-lines protocol as a single daemon, so existing clients work
+unchanged, but routes jobs across nodes by consistent-hashing their
+content keys (duplicate submissions from any client coalesce on one
+node), health-checks the membership, fails work over when a node dies
+mid-sweep, and federates results through a gateway-side read-through
+results cache.
+
+- :mod:`~repro.federation.ring`: rendezvous hashing + membership;
+- :mod:`~repro.federation.gateway`: the asyncio gateway process
+  (``repro gateway`` in the CLI);
+- :mod:`~repro.federation.client`: :class:`FederatedClient` facade
+  (``repro fed-submit`` / ``repro fed-status`` in the CLI).
+
+Determinism contract is preserved end to end: an outcome federated
+through any number of gateway hops is bitwise-identical to a serial
+``run_mix`` with the same inputs (``tests/federation/`` asserts it,
+including across a mid-sweep node kill).
+"""
+
+from repro.federation.client import (
+    ENV_GATEWAY,
+    FederatedClient,
+    federation_enabled,
+    resolve_gateway,
+)
+from repro.federation.gateway import (
+    FederationGateway,
+    GatewayConfig,
+    default_gateway_socket,
+    parse_node,
+    serve_gateway,
+)
+from repro.federation.ring import HashRing, Membership, NodeInfo
+
+__all__ = [
+    "ENV_GATEWAY",
+    "FederatedClient",
+    "FederationGateway",
+    "GatewayConfig",
+    "HashRing",
+    "Membership",
+    "NodeInfo",
+    "default_gateway_socket",
+    "federation_enabled",
+    "parse_node",
+    "resolve_gateway",
+    "serve_gateway",
+]

@@ -1,0 +1,187 @@
+"""Rendezvous hashing and node membership for the federation tier.
+
+Routing contract: a job's content key (:func:`results_cache.job_key`)
+must land on the same node no matter which client submits it and no
+matter which gateway restart is serving, so duplicate submissions
+coalesce on one daemon's queue instead of simulating twice.  We use
+rendezvous (highest-random-weight) hashing over *logical* node names
+(``node0``, ``node1``, ... in configuration order): each ``(node,
+key)`` pair is scored by a hash, and the key routes to the
+highest-scoring routable node.  Rendezvous gives the two properties
+we need for free:
+
+- **stability** -- adding or removing one node only remaps the keys
+  whose top choice changed (~1/N of them), so a mostly-warm fleet
+  stays warm;
+- **failover order** -- the preference list for a key is a
+  deterministic permutation of all nodes, so "the next node in the
+  ring" after a death is simply the next-highest score, identical
+  from every gateway's point of view.
+
+:class:`Membership` layers liveness over the ring: every node carries
+a state (``alive`` / ``dead`` / ``unknown``), a consecutive-failure
+count fed by the gateway's health probes, and the last status summary
+the node answered (queue depth, workers alive) for telemetry.  A node
+is routable unless it is known dead; ``unknown`` nodes (not yet
+probed) are routable so a gateway is useful before its first health
+sweep completes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ALIVE = "alive"
+DEAD = "dead"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class NodeInfo:
+    """One federation member: address, liveness and routing counters."""
+
+    name: str
+    #: TCP ``(host, port)`` or a Unix socket path.
+    addr: tuple[str, int] | Path
+    state: str = UNKNOWN
+    #: Consecutive failed health probes (reset by any success).
+    failures: int = 0
+    last_seen: float | None = None
+    #: Last ``status`` summary the node answered (queue depth etc.).
+    summary: dict = field(default_factory=dict)
+    #: Jobs the gateway routed here over its lifetime.
+    routed: int = 0
+    #: Jobs currently forwarded to this node and awaiting results.
+    in_flight: int = 0
+
+    @property
+    def routable(self) -> bool:
+        return self.state != DEAD
+
+    def addr_text(self) -> str:
+        if isinstance(self.addr, tuple):
+            host, port = self.addr
+            return f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
+        return str(self.addr)
+
+    def describe(self) -> dict:
+        """The wire-visible row for ``fed-status`` and health views."""
+        return {
+            "name": self.name,
+            "addr": self.addr_text(),
+            "state": self.state,
+            "failures": self.failures,
+            "routed": self.routed,
+            "in_flight": self.in_flight,
+            "queue_depth": self.summary.get("queue_depth"),
+            "workers_alive": self.summary.get("workers_alive"),
+            "last_seen_s": (
+                None if self.last_seen is None
+                else time.monotonic() - self.last_seen
+            ),
+        }
+
+
+class HashRing:
+    """Highest-random-weight hashing over a fixed set of node names."""
+
+    def __init__(self, names: list[str]):
+        if not names:
+            raise ValueError("a hash ring needs at least one node")
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names!r}")
+        self._names = list(names)
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._names)
+
+    @staticmethod
+    def _score(name: str, key: str) -> int:
+        digest = hashlib.sha256(f"{name}\x00{key}".encode()).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def preference(self, key: str) -> list[str]:
+        """All nodes, best placement first, deterministic per key."""
+        return sorted(
+            self._names, key=lambda name: self._score(name, key), reverse=True
+        )
+
+    def route(self, key: str, routable: set[str]) -> str | None:
+        """The best routable node for ``key`` (``None`` if none are)."""
+        for name in self.preference(key):
+            if name in routable:
+                return name
+        return None
+
+
+class Membership:
+    """Liveness table over the ring's nodes, driven by health probes."""
+
+    def __init__(self, nodes: list[NodeInfo], fail_threshold: int = 2):
+        if fail_threshold < 1:
+            raise ValueError("fail threshold must be positive")
+        self.fail_threshold = fail_threshold
+        self._nodes = {node.name: node for node in nodes}
+        if len(self._nodes) != len(nodes):
+            raise ValueError("duplicate node names in membership")
+        self.ring = HashRing([node.name for node in nodes])
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> NodeInfo:
+        return self._nodes[name]
+
+    def nodes(self) -> list[NodeInfo]:
+        return list(self._nodes.values())
+
+    def routable_names(self) -> set[str]:
+        return {n.name for n in self._nodes.values() if n.routable}
+
+    def alive(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.state == ALIVE)
+
+    def dead(self) -> int:
+        return sum(1 for n in self._nodes.values() if n.state == DEAD)
+
+    def mark_alive(self, name: str, summary: dict | None = None) -> None:
+        node = self._nodes[name]
+        node.state = ALIVE
+        node.failures = 0
+        node.last_seen = time.monotonic()
+        if summary is not None:
+            node.summary = summary
+
+    def note_failure(self, name: str, fatal: bool = False) -> bool:
+        """Record one failed probe (or, with ``fatal``, a mid-job
+        connection loss -- conclusive on its own).  Returns True when
+        this crossed the node into ``dead``."""
+        node = self._nodes[name]
+        node.failures += 1
+        was_dead = node.state == DEAD
+        if fatal or node.failures >= self.fail_threshold:
+            node.state = DEAD
+        return node.state == DEAD and not was_dead
+
+    def route(self, key: str, exclude: set[str] | None = None) -> str | None:
+        """Best node for ``key`` among live nodes not in ``exclude``.
+
+        Falls back to ignoring ``exclude`` (a job that already failed
+        over off a node may retry it) before giving up entirely --
+        only an all-dead fleet returns ``None``.
+        """
+        routable = self.routable_names()
+        if exclude:
+            narrowed = routable - exclude
+            if narrowed:
+                routable = narrowed
+        if not routable:
+            return None
+        return self.ring.route(key, routable)
+
+    def rows(self) -> list[dict]:
+        return [node.describe() for node in self._nodes.values()]

@@ -33,6 +33,13 @@ Environment knobs:
   -- the parent compiles-or-loads each distinct trace once into
   shared-memory segments and workers attach zero-copy instead of
   compiling privately (see :mod:`repro.traces.shm`).
+- ``REPRO_FED_GATEWAY``: an address (``host:port`` or a Unix socket
+  path) routes the fan-out through a federation gateway
+  (:mod:`repro.federation`) instead of a local worker pool -- the
+  gateway consistent-hash spreads the jobs over its daemon fleet.  An
+  unreachable gateway (or a partially failed batch) falls back to the
+  local pool for whatever is still missing, so a sweep never fails
+  just because the fleet did.
 """
 
 from __future__ import annotations
@@ -64,6 +71,11 @@ MAX_POOL_FAILURES = 2
 POOL_FAILURES = 0
 JOBS_RETRIED = 0
 
+#: Federation fan-out counters: jobs satisfied through the gateway,
+#: and jobs that fell back to the local pool after a gateway failure.
+FED_JOBS = 0
+FED_FALLBACKS = 0
+
 
 def register_stats(group) -> None:
     """Register harness-level telemetry (job timing, results cache)."""
@@ -86,6 +98,16 @@ def register_stats(group) -> None:
         "jobs_retried",
         lambda: JOBS_RETRIED,
         "jobs resubmitted after a pool failure",
+    )
+    group.stat(
+        "fed_jobs",
+        lambda: FED_JOBS,
+        "jobs satisfied through the federation gateway",
+    )
+    group.stat(
+        "fed_fallbacks",
+        lambda: FED_FALLBACKS,
+        "jobs run locally after the gateway failed them",
     )
     results_cache.register_stats(
         group.group("results_cache", "on-disk result cache")
@@ -314,6 +336,39 @@ def _run_pooled(jobs: list[SimJob], workers: int) -> list[SimOutcome]:
     return outcomes
 
 
+def _run_federated(
+    pending: list[tuple[str, SimJob]]
+) -> dict[str, SimOutcome]:
+    """Try to satisfy ``pending`` through the federation gateway.
+
+    Returns the outcomes it obtained, keyed like ``pending``; missing
+    keys (gateway unreachable, node-side failures) are the caller's to
+    run locally.  Never raises -- federation is an accelerator, not a
+    dependency.
+    """
+    global FED_JOBS, FED_FALLBACKS
+    # Imported lazily: repro.federation itself imports SimJob from
+    # this module, and the gateway address is only consulted when the
+    # REPRO_FED_GATEWAY knob is actually set.
+    from repro.federation import FederatedClient
+    from repro.service.client import ServiceError
+
+    got: dict[str, SimOutcome] = {}
+    try:
+        with FederatedClient() as fed:
+            batch = fed.submit_batch([job for _, job in pending])
+    except (ServiceError, OSError, ValueError):
+        FED_FALLBACKS += len(pending)
+        return got
+    for (key, _), outcome in zip(pending, batch.outcomes):
+        if outcome is not None:
+            got[key] = outcome
+            FED_JOBS += 1
+        else:
+            FED_FALLBACKS += 1
+    return got
+
+
 def run_jobs(
     jobs: list[SimJob],
     workers: int | None = None,
@@ -323,9 +378,24 @@ def run_jobs(
 
     Identical jobs are simulated once; results already in the on-disk
     cache are not simulated at all.  ``workers=1`` (or a single
-    pending job) runs inline, with no worker processes.
+    pending job) runs inline, with no worker processes.  With
+    ``REPRO_FED_GATEWAY`` set the pending work routes through the
+    federation gateway first and only the leftovers (if the fleet
+    failed any) run locally.
     """
     keys, outcomes, pending = plan_jobs(jobs, use_cache=use_cache)
+
+    if pending and os.environ.get("REPRO_FED_GATEWAY"):
+        federated = _run_federated(pending)
+        for key, outcome in federated.items():
+            # Persist locally so a later sweep in this process is a
+            # plain cache hit; skip record_outcome -- the simulation
+            # ran on a fleet node, so its wall time does not belong in
+            # this process's jobs_executed telemetry.
+            if use_cache:
+                results_cache.store(key, outcome)
+            outcomes[key] = outcome
+        pending = [(k, j) for k, j in pending if k not in federated]
 
     if pending:
         if workers is None:

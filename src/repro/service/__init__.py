@@ -23,13 +23,25 @@ inputs (``tests/service/`` asserts it), because workers run the
 exact same :func:`~repro.harness.parallel.execute_job` path.
 """
 
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    BatchResult,
+    ConnectionLost,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.jobqueue import JobEntry, JobQueue, QueueClosed, QueueFull
-from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    VersionMismatch,
+    parse_addr,
+)
 from repro.service.server import ExperimentDaemon, ServiceConfig, serve
 from repro.service.workers import JobTimeout, WorkerCrashed, WorkerPool
 
 __all__ = [
+    "BatchResult",
+    "ConnectionLost",
     "ExperimentDaemon",
     "JobEntry",
     "JobQueue",
@@ -41,7 +53,9 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "VersionMismatch",
     "WorkerCrashed",
     "WorkerPool",
+    "parse_addr",
     "serve",
 ]

@@ -7,6 +7,16 @@ scripts, the CLI and tests call it like a function; concurrency comes
 from opening one client per thread or process, which is exactly the
 multi-client scenario the daemon exists to arbitrate.
 
+Transient-failure discipline: ``connect`` and ``submit`` retry a
+bounded number of times with exponential backoff plus jitter when the
+daemon refuses, resets or drops the connection -- a daemon restart
+(or a federation gateway failing a node over) looks like a short blip
+instead of a hard failure.  Retrying a submit is safe because
+submission is idempotent: the daemon dedupes identical jobs through
+their content key and serves finished ones from the results cache.
+Streaming calls (``watch``) are never retried -- a half-consumed
+stream is not replayable.
+
 Example::
 
     from repro.harness import SimJob
@@ -19,8 +29,10 @@ Example::
 
 from __future__ import annotations
 
+import random
 import socket
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.service import protocol
@@ -28,6 +40,52 @@ from repro.service import protocol
 
 class ServiceError(Exception):
     """The daemon answered with an ``error`` line."""
+
+
+class ConnectionLost(ServiceError):
+    """The daemon dropped the connection mid-exchange (ECONNRESET or
+    a clean close) -- retryable for idempotent requests."""
+
+
+#: Errors that mean "the daemon is (re)starting or just died" --
+#: worth retrying.  ``FileNotFoundError`` covers a Unix socket path
+#: that a restarting daemon has not re-created yet.
+RETRYABLE_CONNECT = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    FileNotFoundError,
+)
+RETRYABLE_REQUEST = (
+    ConnectionResetError,
+    BrokenPipeError,
+    ConnectionLost,
+) + RETRYABLE_CONNECT
+
+
+@dataclass
+class BatchResult:
+    """Everything a ``submit_batch`` round-trip produced, slot-aligned
+    with the submitted job list."""
+
+    outcomes: list = field(default_factory=list)
+    ids: list = field(default_factory=list)
+    #: Slot served straight from the daemon's results cache.
+    cached: list = field(default_factory=list)
+    #: Slot coalesced onto an already-active identical job.
+    deduped: list = field(default_factory=list)
+    #: Per-slot failure message (``None`` on success).
+    errors: list = field(default_factory=list)
+
+    def raise_on_error(self) -> "BatchResult":
+        bad = [
+            (i, e) for i, e in enumerate(self.errors) if e is not None
+        ]
+        if bad:
+            head = "; ".join(f"slot {i}: {e}" for i, e in bad[:3])
+            raise ServiceError(
+                f"{len(bad)} of {len(self.errors)} batch jobs failed ({head})"
+            )
+        return self
 
 
 class ServiceClient:
@@ -38,21 +96,35 @@ class ServiceClient:
         socket_path: str | Path | None = None,
         tcp: tuple[str, int] | None = None,
         timeout: float | None = None,
+        retries: int = 4,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
     ):
         self.socket_path = Path(socket_path) if socket_path else None
         self.tcp = tcp
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.max_backoff = max_backoff
+        #: Connection attempts made over this client's lifetime
+        #: (observable by tests and by retry telemetry).
+        self.connect_attempts = 0
         self._sock: socket.socket | None = None
         self._fh = None
 
     # -- connection -----------------------------------------------------
 
-    def connect(self) -> "ServiceClient":
-        if self._sock is not None:
-            return self
+    def _sleep_before_retry(self, attempt: int) -> None:
+        delay = min(self.backoff * (2 ** attempt), self.max_backoff)
+        # Full jitter: concurrent clients of a restarting daemon must
+        # not reconnect in lockstep.
+        time.sleep(delay * (0.5 + random.random()))
+
+    def _connect_once(self) -> None:
         tcp = self.tcp if self.tcp is not None else (
             None if self.socket_path is not None else protocol.tcp_addr()
         )
+        self.connect_attempts += 1
         if tcp is not None:
             sock = socket.create_connection(tcp, timeout=self.timeout)
         else:
@@ -62,7 +134,19 @@ class ServiceClient:
             sock.connect(str(path))
         self._sock = sock
         self._fh = sock.makefile("rwb")
-        return self
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        for attempt in range(self.retries + 1):
+            try:
+                self._connect_once()
+                return self
+            except RETRYABLE_CONNECT:
+                if attempt >= self.retries:
+                    raise
+                self._sleep_before_retry(attempt)
+        return self  # pragma: no cover -- loop always returns/raises
 
     def close(self) -> None:
         if self._fh is not None:
@@ -94,8 +178,25 @@ class ServiceClient:
     def _recv(self) -> dict:
         line = self._fh.readline(protocol.MAX_LINE_BYTES + 2)
         if not line:
-            raise ServiceError("daemon closed the connection")
-        return protocol.decode(line)
+            raise ConnectionLost("daemon closed the connection")
+        try:
+            return protocol.decode(line)
+        except protocol.VersionMismatch as exc:
+            # The *daemon* speaks a different version than we do.
+            raise ServiceError(
+                f"daemon speaks protocol v{exc.peer_version!r}, this "
+                f"client speaks v{exc.our_version}; upgrade one side"
+            ) from None
+
+    @staticmethod
+    def _error_from(reply: dict) -> ServiceError:
+        if reply.get("code") == "version_mismatch":
+            return ServiceError(
+                f"daemon speaks protocol v{reply.get('server_version')!r} "
+                f"but this client sent v{reply.get('client_version')!r}; "
+                f"upgrade one side"
+            )
+        return ServiceError(reply.get("error", "unknown error"))
 
     def _request(self, msg: dict, expect: str) -> dict:
         """Send one request; return the first non-error reply of kind
@@ -103,12 +204,25 @@ class ServiceClient:
         self._send(msg)
         reply = self._recv()
         if reply["op"] == "error":
-            raise ServiceError(reply.get("error", "unknown error"))
+            raise self._error_from(reply)
         if reply["op"] != expect:
             raise ServiceError(
                 f"expected {expect!r} reply, got {reply['op']!r}"
             )
         return reply
+
+    def _retrying(self, fn):
+        """Run ``fn`` (a full idempotent request round-trip), retrying
+        through dropped connections with backoff + jitter."""
+        for attempt in range(self.retries + 1):
+            try:
+                return fn()
+            except RETRYABLE_REQUEST:
+                self.close()
+                if attempt >= self.retries:
+                    raise
+                self._sleep_before_retry(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- operations -----------------------------------------------------
 
@@ -129,25 +243,76 @@ class ServiceClient:
         :class:`~repro.harness.parallel.SimOutcome` -- bitwise-equal
         to a serial ``run_mix`` with the same inputs.  With
         ``wait=False`` returns the submission ticket dict (``id``,
-        ``state``, ``deduped``, ``cached``) immediately.
+        ``state``, ``deduped``, ``cached``) immediately.  A dropped
+        connection is retried (bounded, backed off): resubmission is
+        idempotent through the daemon's dedupe and results cache.
         """
-        ticket = self._request(
-            {
-                "op": "submit",
-                "job": protocol.pack(job),
-                "priority": priority,
-                "wait": wait,
-            },
-            "submitted",
-        )
-        if not wait:
-            return ticket
-        reply = self._recv()
-        if reply["op"] == "error":
-            raise ServiceError(reply.get("error", "job failed"))
-        if reply["op"] != "result":
-            raise ServiceError(f"expected 'result', got {reply['op']!r}")
-        return protocol.unpack(reply["outcome"])
+        packed = protocol.pack(job)
+
+        def roundtrip():
+            ticket = self._request(
+                {
+                    "op": "submit",
+                    "job": packed,
+                    "priority": priority,
+                    "wait": wait,
+                },
+                "submitted",
+            )
+            if not wait:
+                return ticket
+            reply = self._recv()
+            if reply["op"] == "error":
+                raise self._error_from(reply)
+            if reply["op"] != "result":
+                raise ServiceError(f"expected 'result', got {reply['op']!r}")
+            return protocol.unpack(reply["outcome"])
+
+        return self._retrying(roundtrip)
+
+    def submit_batch(self, jobs, priority: int = 0) -> BatchResult:
+        """Run a whole sweep in one request.
+
+        Returns a :class:`BatchResult` whose ``outcomes`` are
+        slot-aligned with ``jobs`` (``None`` where ``errors`` names a
+        failure; call :meth:`BatchResult.raise_on_error` for the
+        raise-on-any-failure discipline).  The whole round-trip is
+        retried on a dropped connection -- finished slots become
+        cache hits on the resubmission.
+        """
+        packed = [protocol.pack(job) for job in jobs]
+
+        def roundtrip():
+            ticket = self._request(
+                {"op": "submit_batch", "jobs": packed, "priority": priority},
+                "batch_submitted",
+            )
+            n = ticket["count"]
+            batch = BatchResult(
+                outcomes=[None] * n,
+                ids=list(ticket["ids"]),
+                cached=list(ticket["cached"]),
+                deduped=list(ticket["deduped"]),
+                errors=[None] * n,
+            )
+            while True:
+                reply = self._recv()
+                if reply["op"] == "error":
+                    raise self._error_from(reply)
+                if reply["op"] == "batch_done":
+                    return batch
+                if reply["op"] != "result":
+                    raise ServiceError(
+                        f"expected 'result', got {reply['op']!r}"
+                    )
+                index = int(reply["index"])
+                if "error" in reply:
+                    batch.errors[index] = reply["error"]
+                else:
+                    batch.outcomes[index] = protocol.unpack(reply["outcome"])
+            return batch
+
+        return self._retrying(roundtrip)
 
     def status(self, job_id: int | None = None) -> dict:
         msg: dict = {"op": "status"}
@@ -164,7 +329,7 @@ class ServiceClient:
                 raise TimeoutError(f"watch({job_id}) timed out")
             event = self._recv()
             if event["op"] == "error":
-                raise ServiceError(event.get("error", "watch failed"))
+                raise self._error_from(event)
             yield event
             if event.get("state") in protocol.TERMINAL_STATES:
                 return

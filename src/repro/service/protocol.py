@@ -7,6 +7,13 @@ version under ``"v"`` and the operation under ``"op"``.  Requests:
   :class:`~repro.harness.parallel.SimJob`), ``priority`` (int, lower
   runs first, default 0), ``wait`` (bool: stream the result on this
   connection once the job finishes, default true).
+- ``submit_batch``: run a whole sweep in one request.  Fields:
+  ``jobs`` (list of packed jobs), ``priority``, ``wait``.  The reply
+  is one ``batch_submitted`` line carrying per-slot ``ids`` /
+  ``cached`` / ``deduped`` vectors, then (with ``wait``) one
+  ``result`` line per slot as each job finishes -- ``index`` names
+  the slot, ``outcome`` carries the packed result (or ``error`` the
+  failure) -- and a final ``batch_done`` summary.
 - ``status``: one job's state (``id``) or a daemon summary (no id).
 - ``watch``: stream ``event`` lines for a job until it reaches a
   terminal state.
@@ -62,6 +69,23 @@ class ProtocolError(Exception):
     """A malformed, oversized or version-mismatched message."""
 
 
+class VersionMismatch(ProtocolError):
+    """The peer speaks a different protocol version.
+
+    Carries both versions so servers can answer with a structured
+    ``version_mismatch`` error naming each side, and clients can tell
+    the operator exactly which end needs upgrading.
+    """
+
+    def __init__(self, peer_version, our_version: int = None):
+        self.peer_version = peer_version
+        self.our_version = PROTOCOL_VERSION if our_version is None else our_version
+        super().__init__(
+            f"protocol version mismatch: peer speaks "
+            f"{peer_version!r}, this end speaks {self.our_version}"
+        )
+
+
 def default_socket() -> Path:
     """The daemon's default Unix-socket path.
 
@@ -74,22 +98,56 @@ def default_socket() -> Path:
     return Path("results") / "service.sock"
 
 
+def parse_addr(raw: str, what: str = "service address") -> tuple[str, int]:
+    """Validate and split a ``host:port`` endpoint string.
+
+    Accepts the bracketed IPv6 form ``[::1]:7070`` (the host is
+    returned without the brackets).  A bare IPv6 host is rejected --
+    its colons make ``host:port`` ambiguous -- with a hint to bracket
+    it.  Every failure raises :class:`ProtocolError` with a one-line
+    message naming ``what``, so CLIs can print it and exit instead of
+    dumping a traceback.
+    """
+    text = raw.strip()
+    if text.startswith("["):
+        host, bracket, rest = text[1:].partition("]")
+        if not bracket or not rest.startswith(":"):
+            raise ProtocolError(
+                f"{what} must be [host]:port, got {raw!r}"
+            )
+        port_text = rest[1:]
+    else:
+        host, sep, port_text = text.rpartition(":")
+        if not sep:
+            raise ProtocolError(
+                f"{what} must be host:port, got {raw!r}"
+            )
+        if ":" in host:
+            raise ProtocolError(
+                f"{what} has a bare IPv6 host; write it as "
+                f"[host]:port, got {raw!r}"
+            )
+    if not host:
+        raise ProtocolError(f"{what} has an empty host: {raw!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ProtocolError(
+            f"{what} port is not an integer: {raw!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ProtocolError(
+            f"{what} port must be in 1..65535, got {raw!r}"
+        )
+    return host, port
+
+
 def tcp_addr() -> tuple[str, int] | None:
     """Optional TCP endpoint from ``REPRO_SERVICE_ADDR`` (host:port)."""
     raw = os.environ.get("REPRO_SERVICE_ADDR")
     if not raw:
         return None
-    host, sep, port = raw.rpartition(":")
-    if not sep or not host:
-        raise ProtocolError(
-            f"REPRO_SERVICE_ADDR must be host:port, got {raw!r}"
-        )
-    try:
-        return host, int(port)
-    except ValueError:
-        raise ProtocolError(
-            f"REPRO_SERVICE_ADDR port is not an integer: {raw!r}"
-        ) from None
+    return parse_addr(raw, what="REPRO_SERVICE_ADDR")
 
 
 def encode(msg: dict) -> bytes:
@@ -113,10 +171,7 @@ def decode(line: bytes) -> dict:
         raise ProtocolError("message is not a JSON object")
     version = msg.get("v")
     if version != PROTOCOL_VERSION:
-        raise ProtocolError(
-            f"protocol version mismatch: got {version!r}, "
-            f"speaking {PROTOCOL_VERSION}"
-        )
+        raise VersionMismatch(version)
     op = msg.get("op")
     if not isinstance(op, str) or not op:
         raise ProtocolError("message has no 'op'")

@@ -85,6 +85,8 @@ class ExperimentDaemon:
         self.connections_open = 0
         self.cache_hits = 0
         self.protocol_errors = 0
+        self.batches = 0
+        self.batch_jobs = 0
 
     # -- telemetry ------------------------------------------------------
 
@@ -106,6 +108,8 @@ class ExperimentDaemon:
         q.stat("failed", lambda: queue.failed, "jobs that exhausted retries or raised")
         q.stat("cancelled", lambda: queue.cancelled, "jobs cancelled before running")
         q.stat("rejected", lambda: queue.rejected, "submissions refused by backpressure (queue full)")
+        q.stat("batches", lambda: self.batches, "submit_batch requests accepted")
+        q.stat("batch_jobs", lambda: self.batch_jobs, "job slots carried by submit_batch requests")
         w = group.group("workers", "supervised persistent worker pool")
         w.stat("configured", lambda: pool.workers, "worker slots")
         w.stat("alive", pool.alive, "worker processes currently alive")
@@ -146,6 +150,46 @@ class ExperimentDaemon:
         writer.write(protocol.encode(msg))
         await writer.drain()
 
+    async def _admit(self, job: SimJob, priority: int):
+        """Cache-check, trace-publish and enqueue one job.
+
+        Returns ``(ticket, entry, cached_outcome)``; exactly one of
+        ``entry`` / ``cached_outcome`` is set on success, both are
+        ``None`` when the ticket is an error dict instead.
+        """
+        if self.config.use_cache:
+            key = results_cache.job_key(job)
+            cached = results_cache.load(key)
+            if cached is not None:
+                self.cache_hits += 1
+                ticket = {
+                    "id": 0,
+                    "key": key,
+                    "state": protocol.DONE,
+                    "deduped": False,
+                    "cached": True,
+                }
+                return ticket, None, cached
+        await self._publish_job_traces(job)
+        try:
+            entry, deduped = self.queue.submit(job, priority=priority)
+        except QueueFull:
+            error = protocol.error(
+                "queue_full", depth=self.queue.depth(),
+                maxsize=self.queue.maxsize,
+            )
+            return error, None, None
+        except QueueClosed:
+            return protocol.error("shutting_down"), None, None
+        ticket = {
+            "id": entry.id,
+            "key": entry.key,
+            "state": entry.state,
+            "deduped": deduped,
+            "cached": False,
+        }
+        return ticket, entry, None
+
     async def _handle_submit(self, msg: dict, writer) -> None:
         job = protocol.unpack(msg["job"]) if "job" in msg else None
         if not isinstance(job, SimJob):
@@ -155,59 +199,18 @@ class ExperimentDaemon:
             return
         wait = bool(msg.get("wait", True))
         priority = int(msg.get("priority", 0))
-        if self.config.use_cache:
-            key = results_cache.job_key(job)
-            cached = results_cache.load(key)
-            if cached is not None:
-                self.cache_hits += 1
-                await self._reply(
-                    writer,
-                    {
-                        "op": "submitted",
-                        "id": 0,
-                        "key": key,
-                        "state": protocol.DONE,
-                        "deduped": False,
-                        "cached": True,
-                    },
-                )
-                if wait:
-                    await self._reply(
-                        writer,
-                        {
-                            "op": "result",
-                            "id": 0,
-                            "outcome": protocol.pack(cached),
-                        },
-                    )
-                return
-        await self._publish_job_traces(job)
-        try:
-            entry, deduped = self.queue.submit(job, priority=priority)
-        except QueueFull:
+        ticket, entry, cached = await self._admit(job, priority)
+        if entry is None and cached is None:
+            await self._reply(writer, ticket)  # an error dict
+            return
+        await self._reply(writer, {"op": "submitted", **ticket})
+        if not wait:
+            return
+        if cached is not None:
             await self._reply(
                 writer,
-                protocol.error(
-                    "queue_full", depth=self.queue.depth(),
-                    maxsize=self.queue.maxsize,
-                ),
+                {"op": "result", "id": 0, "outcome": protocol.pack(cached)},
             )
-            return
-        except QueueClosed:
-            await self._reply(writer, protocol.error("shutting_down"))
-            return
-        await self._reply(
-            writer,
-            {
-                "op": "submitted",
-                "id": entry.id,
-                "key": entry.key,
-                "state": entry.state,
-                "deduped": deduped,
-                "cached": False,
-            },
-        )
-        if not wait:
             return
         try:
             outcome = await asyncio.shield(entry.future)
@@ -225,6 +228,126 @@ class ExperimentDaemon:
                 "id": entry.id,
                 "outcome": protocol.pack(outcome),
             },
+        )
+
+    async def _handle_submit_batch(self, msg: dict, writer) -> None:
+        """One request, a whole sweep: admit every job, then stream
+        per-slot ``result`` lines as each finishes (cache hits first,
+        completion order after that -- ``index`` maps a line back to
+        its slot), ending with a ``batch_done`` summary."""
+        packed = msg.get("jobs")
+        if not isinstance(packed, list) or not packed:
+            await self._reply(
+                writer, protocol.error("submit_batch carries no job list")
+            )
+            return
+        jobs = []
+        for i, blob in enumerate(packed):
+            try:
+                job = protocol.unpack(blob)
+            except protocol.ProtocolError:
+                job = None
+            if not isinstance(job, SimJob):
+                await self._reply(
+                    writer,
+                    protocol.error(f"submit_batch slot {i} is not a SimJob"),
+                )
+                return
+            jobs.append(job)
+        wait = bool(msg.get("wait", True))
+        priority = int(msg.get("priority", 0))
+        self.batches += 1
+        self.batch_jobs += len(jobs)
+        ids: list[int] = []
+        cached_flags: list[bool] = []
+        deduped_flags: list[bool] = []
+        ready: dict[int, object] = {}
+        errors: dict[int, str] = {}
+        entries: dict[int, object] = {}
+        for i, job in enumerate(jobs):
+            ticket, entry, cached = await self._admit(job, priority)
+            if entry is None and cached is None:
+                errors[i] = ticket.get("error", "rejected")
+                ids.append(0)
+                cached_flags.append(False)
+                deduped_flags.append(False)
+                continue
+            ids.append(ticket["id"])
+            cached_flags.append(ticket["cached"])
+            deduped_flags.append(ticket["deduped"])
+            if cached is not None:
+                ready[i] = cached
+            else:
+                entries[i] = entry
+        await self._reply(
+            writer,
+            {
+                "op": "batch_submitted",
+                "count": len(jobs),
+                "ids": ids,
+                "cached": cached_flags,
+                "deduped": deduped_flags,
+            },
+        )
+        if not wait:
+            return
+        completed = failed = 0
+        for i in sorted(ready):
+            completed += 1
+            await self._reply(
+                writer,
+                {
+                    "op": "result",
+                    "index": i,
+                    "id": ids[i],
+                    "outcome": protocol.pack(ready[i]),
+                },
+            )
+        for i in sorted(errors):
+            failed += 1
+            await self._reply(
+                writer,
+                {"op": "result", "index": i, "id": 0, "error": errors[i]},
+            )
+        # Two batch slots holding identical jobs share one queue entry
+        # (and so one future); shield each slot separately so a closed
+        # connection never cancels the underlying simulation.
+        shields = {i: asyncio.shield(e.future) for i, e in entries.items()}
+        remaining = dict(entries)
+        while remaining:
+            await asyncio.wait(
+                set(shields[i] for i in remaining),
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            for i in [i for i, e in remaining.items() if e.future.done()]:
+                entry = remaining.pop(i)
+                try:
+                    outcome = entry.future.result()
+                except Exception as exc:
+                    failed += 1
+                    await self._reply(
+                        writer,
+                        {
+                            "op": "result",
+                            "index": i,
+                            "id": entry.id,
+                            "error": str(exc),
+                        },
+                    )
+                else:
+                    completed += 1
+                    await self._reply(
+                        writer,
+                        {
+                            "op": "result",
+                            "index": i,
+                            "id": entry.id,
+                            "outcome": protocol.pack(outcome),
+                        },
+                    )
+        await self._reply(
+            writer,
+            {"op": "batch_done", "completed": completed, "failed": failed},
         )
 
     async def _publish_job_traces(self, job: SimJob) -> None:
@@ -283,6 +406,8 @@ class ExperimentDaemon:
         op = msg["op"]
         if op == "submit":
             await self._handle_submit(msg, writer)
+        elif op == "submit_batch":
+            await self._handle_submit_batch(msg, writer)
         elif op == "status":
             if "id" in msg:
                 entry = self.queue.get(int(msg["id"]))
@@ -338,6 +463,20 @@ class ExperimentDaemon:
                     continue
                 try:
                     msg = protocol.decode(line)
+                except protocol.VersionMismatch as exc:
+                    # Structured: both versions, so whichever peer sees
+                    # the error knows exactly who needs upgrading.
+                    self.protocol_errors += 1
+                    await self._reply(
+                        writer,
+                        protocol.error(
+                            str(exc),
+                            code="version_mismatch",
+                            client_version=exc.peer_version,
+                            server_version=exc.our_version,
+                        ),
+                    )
+                    continue
                 except protocol.ProtocolError as exc:
                     self.protocol_errors += 1
                     await self._reply(writer, protocol.error(str(exc)))

@@ -1,0 +1,38 @@
+"""Fixtures for the federation tests (helpers in fedutil.py)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from fedutil import DaemonProc, GatewayHarness
+
+
+@pytest.fixture
+def fed_env(tmp_path, monkeypatch):
+    """Isolated env: the test process (and the in-thread gateway) use
+    a fresh cache dir; fleet/daemon knobs are cleared."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "gateway-cache"))
+    for knob in ("REPRO_SERVICE_ADDR", "REPRO_FED_GATEWAY",
+                 "REPRO_TRACE_SHM", "REPRO_GATEWAY_SOCKET",
+                 "REPRO_SERVICE_SOCKET"):
+        monkeypatch.delenv(knob, raising=False)
+    return tmp_path
+
+
+@pytest.fixture
+def fleet(fed_env):
+    """Two live daemon subprocesses behind an in-thread gateway."""
+    nodes = [DaemonProc(fed_env, f"node{i}") for i in range(2)]
+    gateway = None
+    try:
+        for node in nodes:
+            node.wait_ready()
+        gateway = GatewayHarness(fed_env, [n.addr for n in nodes])
+        yield SimpleNamespace(gateway=gateway, nodes=nodes, tmp=fed_env)
+    finally:
+        if gateway is not None:
+            gateway.stop()
+        for node in nodes:
+            node.stop()

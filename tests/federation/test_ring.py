@@ -1,0 +1,156 @@
+"""Rendezvous-ring and membership unit tests (no sockets)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.federation import HashRing, Membership, NodeInfo, parse_node
+from repro.federation.ring import ALIVE, DEAD, UNKNOWN
+from repro.service import protocol
+
+
+def _members(n: int, fail_threshold: int = 2) -> Membership:
+    return Membership(
+        [
+            NodeInfo(name=f"node{i}", addr=("127.0.0.1", 7000 + i))
+            for i in range(n)
+        ],
+        fail_threshold=fail_threshold,
+    )
+
+
+class TestHashRing:
+    def test_preference_is_a_deterministic_permutation(self):
+        ring = HashRing(["node0", "node1", "node2"])
+        for key in ("a", "b", "deadbeef" * 8):
+            order = ring.preference(key)
+            assert sorted(order) == ["node0", "node1", "node2"]
+            assert order == ring.preference(key)
+
+    def test_route_honors_routable_set(self):
+        ring = HashRing(["node0", "node1"])
+        key = "somejobkey"
+        best = ring.preference(key)[0]
+        other = ring.preference(key)[1]
+        assert ring.route(key, {"node0", "node1"}) == best
+        assert ring.route(key, {other}) == other
+        assert ring.route(key, set()) is None
+
+    def test_keys_spread_over_nodes(self):
+        """Over many keys, every node gets a meaningful share -- the
+        property that makes the gateway a load balancer at all."""
+        ring = HashRing([f"node{i}" for i in range(4)])
+        counts = {name: 0 for name in ring.names}
+        for i in range(2000):
+            counts[ring.preference(f"key{i}")[0]] += 1
+        for name, count in counts.items():
+            assert count > 2000 / 4 / 2, (name, counts)
+
+    def test_removing_a_node_only_remaps_its_keys(self):
+        """Rendezvous stability: keys not placed on the removed node
+        keep their placement."""
+        ring = HashRing(["node0", "node1", "node2"])
+        keys = [f"key{i}" for i in range(500)]
+        full = {k: ring.route(k, {"node0", "node1", "node2"}) for k in keys}
+        without = {k: ring.route(k, {"node0", "node1"}) for k in keys}
+        for k in keys:
+            if full[k] != "node2":
+                assert without[k] == full[k]
+
+    def test_rejects_empty_and_duplicate_names(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+
+
+class TestMembership:
+    def test_fail_threshold_transitions(self):
+        members = _members(2, fail_threshold=2)
+        assert members.node("node0").state == UNKNOWN
+        assert not members.note_failure("node0")
+        assert members.node("node0").state == UNKNOWN  # 1 < threshold
+        assert members.note_failure("node0")  # crossed into dead
+        assert members.node("node0").state == DEAD
+        assert not members.note_failure("node0")  # already dead
+
+    def test_mark_alive_resets_failures(self):
+        members = _members(1)
+        members.note_failure("node0")
+        members.mark_alive("node0", {"queue_depth": 3})
+        node = members.node("node0")
+        assert node.state == ALIVE
+        assert node.failures == 0
+        assert node.summary["queue_depth"] == 3
+        assert members.alive() == 1
+
+    def test_fatal_failure_kills_immediately(self):
+        """A mid-job connection loss is conclusive: no second probe
+        needed before the ring stops routing new work there."""
+        members = _members(2, fail_threshold=5)
+        assert members.note_failure("node1", fatal=True)
+        assert members.node("node1").state == DEAD
+        assert members.dead() == 1
+
+    def test_route_skips_dead_and_excluded(self):
+        members = _members(3)
+        key = "jobkey"
+        order = members.ring.preference(key)
+        assert members.route(key) == order[0]
+        members.note_failure(order[0], fatal=True)
+        assert members.route(key) == order[1]
+        assert members.route(key, exclude={order[1]}) == order[2]
+
+    def test_route_falls_back_to_excluded_before_giving_up(self):
+        members = _members(2)
+        key = "jobkey"
+        survivor = members.ring.preference(key)[0]
+        dead = members.ring.preference(key)[1]
+        members.note_failure(dead, fatal=True)
+        # Everything routable is excluded: retrying the survivor beats
+        # failing the job.
+        assert members.route(key, exclude={survivor}) == survivor
+
+    def test_route_none_only_when_all_dead(self):
+        members = _members(2)
+        members.note_failure("node0", fatal=True)
+        members.note_failure("node1", fatal=True)
+        assert members.route("anything") is None
+
+    def test_rows_describe_every_node(self):
+        members = _members(2)
+        rows = members.rows()
+        assert [r["name"] for r in rows] == ["node0", "node1"]
+        assert all(r["state"] == UNKNOWN for r in rows)
+
+
+class TestParseNode:
+    def test_tcp_specs(self):
+        assert parse_node("127.0.0.1:7070") == ("127.0.0.1", 7070)
+        assert parse_node("[::1]:7070") == ("::1", 7070)
+
+    def test_path_specs(self):
+        assert parse_node("/tmp/node.sock") == Path("/tmp/node.sock")
+        assert parse_node("results/node.sock") == Path("results/node.sock")
+        assert parse_node("plainname") == Path("plainname")
+
+    def test_bad_specs_raise_one_line_errors(self):
+        for bad in ("", "host:nan", "host:0"):
+            with pytest.raises(protocol.ProtocolError) as err:
+                parse_node(bad)
+            assert "\n" not in str(err.value)
+
+
+class TestNodeInfo:
+    def test_addr_text_brackets_ipv6(self):
+        assert NodeInfo("n", ("::1", 9)).addr_text() == "[::1]:9"
+        assert NodeInfo("n", ("127.0.0.1", 9)).addr_text() == "127.0.0.1:9"
+        assert NodeInfo("n", Path("/x.sock")).addr_text() == "/x.sock"
+
+    def test_unknown_nodes_are_routable(self):
+        node = NodeInfo("n", ("127.0.0.1", 9))
+        assert node.routable
+        node.state = DEAD
+        assert not node.routable

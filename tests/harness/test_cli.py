@@ -384,3 +384,47 @@ class TestServiceVerbs:
         except (ConnectionRefusedError, FileNotFoundError):
             code_error = "raised"
         assert code_error == "raised"
+
+
+class TestAddressValidation:
+    def test_bad_tcp_flag_is_one_line_error_exit_1(self, capsys):
+        code = main(["svc-stats", "--tcp", "nonsense"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.startswith("error:")
+        assert "--tcp" in out
+        assert "\n" not in out.strip()
+
+    def test_bad_service_addr_env_is_one_line_error_exit_1(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_SERVICE_ADDR", "::1:7070")
+        monkeypatch.delenv("REPRO_SERVICE_SOCKET", raising=False)
+        code = main(["svc-stats"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.startswith("error:")
+        assert "REPRO_SERVICE_ADDR" in out
+        assert "[host]:port" in out  # the bracket hint for bare IPv6
+
+    def test_bracketed_ipv6_tcp_flag_parses(self):
+        args = build_parser().parse_args(["serve", "--tcp", "[::1]:7070"])
+        from repro.cli import _tcp_arg
+
+        assert _tcp_arg(args.tcp) == ("::1", 7070)
+
+    def test_gateway_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["gateway", "--node", "127.0.0.1:7071", "--node", "127.0.0.1:7072"]
+        )
+        assert args.node == ["127.0.0.1:7071", "127.0.0.1:7072"]
+        assert args.fail_threshold == 2
+        assert args.per_node_inflight == 8
+        assert args.max_retries == 2
+        assert not args.no_cache
+
+    def test_fed_submit_parser_defaults(self):
+        args = build_parser().parse_args(["fed-submit"])
+        assert args.mixes == 1
+        assert args.schemes == "vantage-z4/52"
+        assert args.gateway is None

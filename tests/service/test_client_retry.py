@@ -1,0 +1,202 @@
+"""Client-side transient-failure discipline.
+
+A fake daemon (plain socket servers on loopback) stands in for the
+real one so the tests can script exactly when connections are refused,
+reset or served -- the behaviors under test are the client's bounded
+retry loop, its exponential backoff, and the structured version-
+mismatch surface, none of which need a simulation.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError, protocol
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class FakeDaemon:
+    """Accept loop whose per-connection behavior is a scripted list:
+    ``"reset"`` closes immediately, a list of dicts serves replies."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.connections = 0
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while self.script:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            self.connections += 1
+            behavior = self.script.pop(0)
+            with conn:
+                if behavior == "reset":
+                    conn.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        struct.pack("ii", 1, 0),  # close() sends RST
+                    )
+                    continue
+                fh = conn.makefile("rwb")
+                for reply in behavior:
+                    fh.readline()
+                    fh.write(protocol.encode(dict(reply)))
+                    fh.flush()
+
+    def close(self):
+        self.sock.close()
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture
+def fast_client():
+    def make(port, **kwargs):
+        kwargs.setdefault("retries", 3)
+        kwargs.setdefault("backoff", 0.001)
+        kwargs.setdefault("timeout", 10)
+        return ServiceClient(tcp=("127.0.0.1", port), **kwargs)
+
+    return make
+
+
+class TestConnectRetry:
+    def test_refused_connect_retries_then_raises(self, fast_client):
+        port = _free_port()  # nothing listens here
+        client = fast_client(port, retries=2)
+        with pytest.raises(ConnectionRefusedError):
+            client.connect()
+        assert client.connect_attempts == 3  # 1 try + 2 retries
+
+    def test_connect_succeeds_once_daemon_appears(self, fast_client):
+        """The daemon starts listening between attempts 1 and 2 --
+        a restart blip the retry loop must absorb."""
+        port = _free_port()
+        client = fast_client(port, retries=4, backoff=0.05)
+
+        def serve_on_port():
+            sock = socket.socket()
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", port))
+            sock.listen(1)
+            conn, _ = sock.accept()
+            with conn:
+                fh = conn.makefile("rwb")
+                fh.readline()
+                fh.write(protocol.encode({"op": "pong"}))
+                fh.flush()
+            sock.close()
+
+        timer = threading.Timer(0.15, serve_on_port)
+        timer.start()
+        try:
+            assert client.ping()
+        finally:
+            timer.cancel()
+            client.close()
+        assert client.connect_attempts >= 2
+
+    def test_retries_zero_fails_immediately(self, fast_client):
+        client = fast_client(_free_port(), retries=0)
+        with pytest.raises(ConnectionRefusedError):
+            client.connect()
+        assert client.connect_attempts == 1
+
+    def test_backoff_grows_and_is_jittered(self, fast_client, monkeypatch):
+        delays = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", delays.append
+        )
+        client = fast_client(_free_port(), retries=3, backoff=0.1)
+        with pytest.raises(ConnectionRefusedError):
+            client.connect()
+        assert len(delays) == 3
+        # Full jitter keeps each delay within [0.5x, 1.5x] of the
+        # exponential schedule 0.1, 0.2, 0.4.
+        for delay, base in zip(delays, (0.1, 0.2, 0.4)):
+            assert 0.5 * base <= delay <= 1.5 * base
+
+
+class TestRequestRetry:
+    def test_submit_retries_through_a_reset_connection(self, fast_client):
+        ticket = {
+            "op": "submitted",
+            "id": 1,
+            "state": "queued",
+            "deduped": False,
+            "cached": False,
+        }
+        daemon = FakeDaemon(["reset", [ticket]])
+        try:
+            client = fast_client(daemon.port)
+            reply = client.submit("job-payload", wait=False)
+            client.close()
+        finally:
+            daemon.close()
+        assert reply["id"] == 1
+        assert daemon.connections == 2
+
+    def test_submit_gives_up_after_bounded_retries(self, fast_client):
+        daemon = FakeDaemon(["reset"] * 3)
+        try:
+            client = fast_client(daemon.port, retries=2)
+            with pytest.raises((ServiceError, OSError)):
+                client.submit("job-payload", wait=False)
+            client.close()
+        finally:
+            daemon.close()
+        assert daemon.connections == 3
+
+
+class TestVersionSurface:
+    def test_structured_version_error_names_both_sides(self, fast_client):
+        reply = {
+            "op": "error",
+            "error": "protocol version mismatch",
+            "code": "version_mismatch",
+            "client_version": 1,
+            "server_version": 2,
+        }
+        daemon = FakeDaemon([[reply]])
+        try:
+            client = fast_client(daemon.port, retries=0)
+            with pytest.raises(ServiceError) as err:
+                client.ping()
+            client.close()
+        finally:
+            daemon.close()
+        text = str(err.value)
+        assert "1" in text and "2" in text and "upgrade" in text
+
+    def test_daemon_speaking_other_version_is_not_retried(self, fast_client):
+        """A v2 daemon's replies fail decode as VersionMismatch; the
+        client must surface both versions, not retry forever."""
+        v2_pong = {"op": "pong", "v": 2}
+        daemon = FakeDaemon([[v2_pong]])
+        try:
+            client = fast_client(daemon.port, retries=0)
+            with pytest.raises(ServiceError) as err:
+                client.ping()
+            client.close()
+        finally:
+            daemon.close()
+        text = str(err.value)
+        assert "2" in text
+        assert str(protocol.PROTOCOL_VERSION) in text
+        assert daemon.connections == 1

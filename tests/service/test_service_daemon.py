@@ -437,3 +437,69 @@ class TestSharedMemoryFabric:
             p.name for p in shm.shm_dir().glob(shm.SEGMENT_PREFIX + "*")
         } & published
         assert not leftovers, f"daemon shutdown leaked {sorted(leftovers)}"
+
+
+class TestBatchSubmit:
+    def test_batch_outcomes_bitwise_identical_and_slot_aligned(self, daemon):
+        """One submit_batch carrying fresh, duplicate and cached slots:
+        every outcome equals its serial run_mix, and the cached/deduped
+        vectors are slot-aligned."""
+        warm = _job(seed=21)
+        with daemon.client() as svc:
+            svc.submit(warm)  # slot 3's result is now in the cache
+            jobs = [_job(seed=22), _job(seed=23), _job(seed=22), warm]
+            batch = svc.submit_batch(jobs).raise_on_error()
+        assert len(batch.outcomes) == 4
+        for job, outcome in zip(jobs, batch.outcomes):
+            serial = run_mix(
+                job.mix, job.scheme, job.config, job.instructions,
+                seed=job.seed,
+            )
+            assert outcome.result == serial.result
+        # Slot 2 duplicates slot 0: it coalesced onto slot 0's entry
+        # (or, if slot 0 finished first, onto its cached result).
+        assert batch.deduped[2] or batch.cached[2]
+        assert not batch.deduped[0] and not batch.cached[0]
+        # Slot 3 was simulated before the batch.
+        assert batch.cached[3]
+        with daemon.client() as svc:
+            tree = svc.stats()
+        queue_stats = tree["service"]["queue"]
+        assert queue_stats["batches"] >= 1
+        assert queue_stats["batch_jobs"] >= 4
+
+    def test_batch_rejects_non_job_slot(self, daemon):
+        with daemon.client() as svc:
+            with pytest.raises(ServiceError, match="slot 1"):
+                svc.submit_batch([_job(seed=24), "not a job"])
+            # The connection survives the rejection.
+            assert svc.ping()
+
+
+class TestVersionedPeers:
+    @pytest.mark.parametrize("peer_version", [0, 2])
+    def test_wrong_version_peer_gets_structured_error(
+        self, daemon, peer_version
+    ):
+        """A v0 or v2 peer against the v1 daemon: the error reply is
+        structured (code + both versions), not just prose."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(30)
+        sock.connect(str(daemon.socket_path))
+        fh = sock.makefile("rwb")
+        fh.write(
+            json.dumps({"v": peer_version, "op": "ping"}).encode() + b"\n"
+        )
+        fh.flush()
+        reply = json.loads(fh.readline())
+        assert reply["op"] == "error"
+        assert reply["code"] == "version_mismatch"
+        assert reply["client_version"] == peer_version
+        assert reply["server_version"] == protocol.PROTOCOL_VERSION
+        assert "version" in reply["error"]
+        # The daemon keeps serving correctly-versioned requests on
+        # the same connection.
+        fh.write(protocol.encode({"op": "ping"}))
+        fh.flush()
+        assert json.loads(fh.readline())["op"] == "pong"
+        sock.close()

@@ -64,6 +64,65 @@ class TestPayloads:
             protocol.unpack("!!!not-base64-pickle!!!")
 
 
+class TestParseAddr:
+    def test_plain_host_port(self):
+        assert protocol.parse_addr("127.0.0.1:7070") == ("127.0.0.1", 7070)
+        assert protocol.parse_addr("example.com:80") == ("example.com", 80)
+
+    def test_bracketed_ipv6(self):
+        assert protocol.parse_addr("[::1]:7070") == ("::1", 7070)
+        assert protocol.parse_addr("[fe80::2]:1") == ("fe80::2", 1)
+
+    def test_bare_ipv6_rejected_with_bracket_hint(self):
+        with pytest.raises(protocol.ProtocolError, match=r"\[host\]:port"):
+            protocol.parse_addr("::1:7070")
+
+    def test_missing_port(self):
+        with pytest.raises(protocol.ProtocolError, match="host:port"):
+            protocol.parse_addr("nonsense")
+
+    def test_empty_host(self):
+        with pytest.raises(protocol.ProtocolError, match="empty host"):
+            protocol.parse_addr(":7070")
+
+    def test_non_integer_port(self):
+        with pytest.raises(protocol.ProtocolError, match="not an integer"):
+            protocol.parse_addr("localhost:http")
+
+    def test_port_out_of_range(self):
+        with pytest.raises(protocol.ProtocolError, match="1..65535"):
+            protocol.parse_addr("localhost:0")
+        with pytest.raises(protocol.ProtocolError, match="1..65535"):
+            protocol.parse_addr("localhost:70000")
+
+    def test_errors_name_the_offending_knob(self):
+        with pytest.raises(protocol.ProtocolError, match="REPRO_SERVICE_ADDR"):
+            protocol.parse_addr("nonsense", what="REPRO_SERVICE_ADDR")
+
+    def test_errors_are_one_line(self):
+        for bad in ("x", ":1", "::1:2", "h:no", "h:0", "[::1]7070"):
+            with pytest.raises(protocol.ProtocolError) as err:
+                protocol.parse_addr(bad)
+            assert "\n" not in str(err.value)
+
+
+class TestVersionMismatch:
+    def test_decode_carries_both_versions(self):
+        line = json.dumps({"v": 0, "op": "ping"}).encode() + b"\n"
+        with pytest.raises(protocol.VersionMismatch) as err:
+            protocol.decode(line)
+        assert err.value.peer_version == 0
+        assert err.value.our_version == protocol.PROTOCOL_VERSION
+
+    def test_version_mismatch_is_a_protocol_error(self):
+        assert issubclass(protocol.VersionMismatch, protocol.ProtocolError)
+
+    def test_message_names_both_versions(self):
+        exc = protocol.VersionMismatch(2)
+        assert "2" in str(exc)
+        assert str(protocol.PROTOCOL_VERSION) in str(exc)
+
+
 class TestEndpoints:
     def test_default_socket_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVICE_SOCKET", "/tmp/x.sock")
